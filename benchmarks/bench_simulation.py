@@ -1,0 +1,45 @@
+"""Benchmarks of the simulation substrate (the RTL-simulation substitute).
+
+Not a paper table, but a substrate ablation: how fast the cycle-accurate
+simulator executes the generated designs, and that end-to-end correctness
+holds at benchmark sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import build_kernel
+from repro.sim import run_design
+from repro.verilog import generate_verilog
+
+
+@pytest.mark.table("simulation")
+@pytest.mark.parametrize("kernel,params", [
+    ("transpose", {"size": 8}),
+    ("stencil_1d", {"size": 32}),
+    ("histogram", {"pixels": 64, "bins": 32}),
+    ("fifo", {"depth": 64}),
+], ids=["transpose-8", "stencil-32", "histogram-64", "fifo-64"])
+def test_simulate_generated_design(benchmark, kernel, params):
+    artifacts = build_kernel(kernel, **params)
+    design = generate_verilog(artifacts.module, top=artifacts.top).design
+    inputs = artifacts.make_inputs(0)
+
+    def run():
+        return run_design(
+            design,
+            memories={name: (memref_type, inputs[name])
+                      for name, memref_type in artifacts.interfaces.items()},
+            scalar_inputs=artifacts.scalar_args,
+            drain_cycles=16,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.done
+    expected = artifacts.reference(inputs)
+    for name, reference in expected.items():
+        produced = result.memory_array(name)
+        reference = np.asarray(reference)
+        if kernel == "stencil_1d":
+            produced, reference = produced[1:], reference[1:]
+        assert np.array_equal(produced, reference)

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper.  The
+kernel sizes match the paper's configuration (16x16 GEMM, 256-bin histogram,
+64-element stencil); the heavyweight baseline compilations are measured with
+a single round so the whole harness stays in the minutes range.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, os.path.abspath(_SRC))
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "table(name): marks the paper table/figure a benchmark regenerates"
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_params():
+    """Paper-scale kernel parameters (Section 8)."""
+    return {
+        "transpose": {"size": 16},
+        "stencil_1d": {"size": 64},
+        "histogram": {"pixels": 256, "bins": 256},
+        "gemm": {"size": 16},
+        "convolution": {"size": 16},
+        "fifo": {"depth": 512},
+    }

@@ -1,0 +1,14 @@
+"""Pytest configuration: make the in-tree ``src`` layout importable.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build; adding ``src`` to ``sys.path``
+here lets ``pytest tests/`` and ``pytest benchmarks/`` run directly from a
+checkout.  When the package *is* properly installed this is a harmless no-op.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

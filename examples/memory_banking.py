@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Memory banking with distributed memref dimensions (Figure 3).
+
+A memref whose dimensions are *distributed* is spread across multiple
+physical buffers: elements whose indices differ in a distributed dimension
+live in different banks and can be accessed in the same cycle.  This example
+prints the bank layout of the paper's Figure 3 memref, shows the banked RAM
+the code generator instantiates, and contrasts it with a fully packed
+(single-buffer) layout.
+
+Run with:  python examples/memory_banking.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.evaluation.figures import figure3
+from repro.hir import MemrefType
+from repro.ir import I32
+
+
+def describe(memref: MemrefType) -> None:
+    print(f"{memref}")
+    print(f"  rank={memref.rank}, elements={memref.num_elements}")
+    print(f"  packed dims={memref.packed_dims()}, "
+          f"distributed dims={memref.distributed_dims()}")
+    print(f"  banks={memref.num_banks}, elements/bank={memref.elements_per_bank}, "
+          f"read latency={memref.read_latency} cycle(s)")
+
+
+def main() -> None:
+    print("=== Figure 3 memref ===")
+    result = figure3()
+    print(result.render())
+
+    print("\n=== layout comparison ===")
+    describe(MemrefType((3, 2), I32, port="r", packing=(1,)))   # Figure 3
+    describe(MemrefType((3, 2), I32, port="r"))                 # fully packed
+    describe(MemrefType((3, 2), I32, port="r", packing=()))     # fully distributed
+
+    print("\nA fully distributed memref is implemented with one register per "
+          "element (combinational reads); packed dimensions share a RAM and "
+          "read with one cycle of latency — that is exactly the latency the "
+          "schedule analysis assigns to hir.mem_read.")
+
+
+if __name__ == "__main__":
+    main()

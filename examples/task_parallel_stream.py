@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Deterministic task-level parallelism: a flow-through FIFO stream.
+
+Section 5.3 of the paper argues that HIR (like HDLs, unlike HLS) can express
+*deterministic* producer/consumer parallelism with no handshake logic: when
+two tasks run in lock step, no FIFO back-pressure is needed.  This example
+builds exactly that — a producer loop streaming data into an on-chip buffer
+and a consumer loop, started a fixed number of cycles later, streaming it
+out — then simulates it and shows the data arrives intact and the two loops
+really do overlap in time.
+
+Run with:  python examples/task_parallel_stream.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.kernels import fifo
+from repro.passes import verify_schedule
+from repro.resources import estimate_resources
+from repro.sim import run_design
+from repro.verilog import generate_verilog
+
+DEPTH = 128
+
+
+def main() -> None:
+    artifacts = fifo.build(DEPTH)
+    report = verify_schedule(artifacts.module)
+    print("schedule verification:", "ok" if report.ok else report.render())
+
+    result = generate_verilog(artifacts.module, top=artifacts.top)
+    print("resources (HIR flow-through FIFO):", estimate_resources(result.design))
+    baseline = fifo.build_verilog_fifo(DEPTH)
+    print("resources (hand-written Verilog FIFO):", estimate_resources(baseline))
+
+    inputs = artifacts.make_inputs(seed=11)
+    run = run_design(
+        result.design,
+        memories={name: (memref_type, inputs[name])
+                  for name, memref_type in artifacts.interfaces.items()},
+        drain_cycles=16,
+    )
+    out = run.memory_array("dout")
+    expected = artifacts.reference(inputs)["dout"]
+    print(f"\nstreamed {DEPTH} words in {run.cycles} cycles "
+          f"(producer + consumer overlapped, no handshake)")
+    print("data intact:", np.array_equal(out, expected))
+    # A non-overlapped implementation would need ~2x DEPTH cycles plus
+    # per-transfer handshaking; the overlap keeps total latency near DEPTH.
+    print("overlap efficiency:", f"{DEPTH / run.cycles:.2f} words/cycle")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""repro: a reproduction of the HIR hardware-accelerator IR (ASPLOS 2023).
+
+Top-level layout:
+
+* :mod:`repro.ir`         — MLIR-like IR core (SSA, ops, regions, parser/printer).
+* :mod:`repro.hir`        — the HIR dialect: explicit schedules, memrefs, loops.
+* :mod:`repro.passes`     — schedule verification and optimization passes.
+* :mod:`repro.verilog`    — Verilog AST, FSM synthesis and the HIR code generator.
+* :mod:`repro.resources`  — FPGA resource model (LUT/FF/DSP/BRAM estimation).
+* :mod:`repro.sim`        — cycle-accurate simulators for generated designs.
+* :mod:`repro.hls`        — a Vivado-HLS-like baseline compiler used by the evaluation.
+* :mod:`repro.kernels`    — the paper's benchmark kernels (HIR and HLS variants).
+* :mod:`repro.evaluation` — harness regenerating every table and figure.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

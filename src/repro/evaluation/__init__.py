@@ -1,0 +1,15 @@
+"""Evaluation harness: regenerates every table and figure of the paper."""
+
+from repro.evaluation import figures, paper_data, runner, table4, table5, table6
+from repro.evaluation.runner import EvaluationResults, run_all
+
+__all__ = [
+    "figures",
+    "paper_data",
+    "runner",
+    "table4",
+    "table5",
+    "table6",
+    "EvaluationResults",
+    "run_all",
+]

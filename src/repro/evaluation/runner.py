@@ -1,0 +1,80 @@
+"""Run the whole evaluation: every table and figure of the paper.
+
+``python -m repro.evaluation.runner`` regenerates Tables 4–6 and Figures 1–3
+and prints them next to the published numbers.  ``quick=True`` shrinks the
+kernel sizes so the full sweep finishes in seconds (used by tests); the
+default parameters match the paper's configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.evaluation import figures, table4, table5, table6
+
+#: Reduced kernel sizes for a fast smoke run of the whole evaluation.
+QUICK_TABLE5_PARAMS: Dict[str, Dict[str, int]] = {
+    "transpose": {"size": 8},
+    "stencil_1d": {"size": 32},
+    "histogram": {"pixels": 64, "bins": 64},
+    "gemm": {"size": 4},
+    "convolution": {"size": 8},
+    "fifo": {"depth": 64},
+}
+
+QUICK_TABLE6_PARAMS: Dict[str, Dict[str, int]] = {
+    name: params for name, params in QUICK_TABLE5_PARAMS.items() if name != "fifo"
+}
+
+
+@dataclass
+class EvaluationResults:
+    table4: Dict[str, table4.Table4Row] = field(default_factory=dict)
+    table5: Dict[str, table5.Table5Row] = field(default_factory=dict)
+    table6: Dict[str, table6.Table6Row] = field(default_factory=dict)
+    figure1: Optional[figures.FigureResult] = None
+    figure2: Optional[figures.FigureResult] = None
+    figure3: Optional[figures.Figure3Result] = None
+
+    def render(self) -> str:
+        parts = [
+            table4.render(self.table4),
+            "",
+            table5.render(self.table5),
+            "",
+            table6.render(self.table6),
+            "",
+            self.figure1.render() if self.figure1 else "",
+            "",
+            self.figure2.render() if self.figure2 else "",
+            "",
+            self.figure3.render() if self.figure3 else "",
+        ]
+        return "\n".join(parts)
+
+
+def run_all(quick: bool = False) -> EvaluationResults:
+    """Regenerate every experiment; ``quick`` shrinks problem sizes."""
+    results = EvaluationResults()
+    results.table4 = table4.generate(size=8 if quick else 16)
+    results.table5 = table5.generate(QUICK_TABLE5_PARAMS if quick else None)
+    results.table6 = table6.generate(QUICK_TABLE6_PARAMS if quick else None)
+    results.figure1 = figures.figure1()
+    results.figure2 = figures.figure2()
+    results.figure3 = figures.figure3()
+    return results
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="use reduced kernel sizes for a fast run")
+    arguments = parser.parse_args()
+    print(run_all(quick=arguments.quick).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,65 @@
+"""The HIR dialect: the paper's primary contribution.
+
+Importing this package registers the dialect (operations and the ``!hir.*``
+type parser) with the core IR infrastructure.
+"""
+
+from repro.hir import dialect  # noqa: F401 - registration side effect
+from repro.hir.build import DesignBuilder, FuncBuilder, LoopHandle
+from repro.hir.ops import (
+    AddOp,
+    AllocOp,
+    AndOp,
+    BinaryOp,
+    CallOp,
+    CmpOp,
+    COMPUTE_OPS,
+    CONTROL_FLOW_OPS,
+    ConstantOp,
+    DelayOp,
+    ExtOp,
+    ForOp,
+    FuncOp,
+    HIROperation,
+    MEMORY_OPS,
+    MemReadOp,
+    MemWriteOp,
+    MultOp,
+    OrOp,
+    ReturnOp,
+    SCHEDULING_OPS,
+    SelectOp,
+    ShlOp,
+    ShrOp,
+    SubOp,
+    TruncOp,
+    UnrollForOp,
+    XorOp,
+    YieldOp,
+    constant_value,
+)
+from repro.hir.schedule import ScheduleAnalysis, ScheduleInfo, TimeStamp, UNBOUNDED, analyse
+from repro.hir.types import (
+    CONST,
+    READ,
+    READ_WRITE,
+    TIME,
+    WRITE,
+    ConstType,
+    MemrefType,
+    TimeType,
+)
+
+__all__ = [
+    "DesignBuilder", "FuncBuilder", "LoopHandle",
+    "AddOp", "AllocOp", "AndOp", "BinaryOp", "CallOp", "CmpOp",
+    "COMPUTE_OPS", "CONTROL_FLOW_OPS", "ConstantOp", "DelayOp", "ExtOp",
+    "ForOp", "FuncOp", "HIROperation", "MEMORY_OPS", "MemReadOp",
+    "MemWriteOp", "MultOp", "OrOp", "ReturnOp", "SCHEDULING_OPS",
+    "SelectOp", "ShlOp", "ShrOp", "SubOp", "TruncOp", "UnrollForOp",
+    "XorOp", "YieldOp", "constant_value",
+    "ScheduleAnalysis", "ScheduleInfo", "TimeStamp", "UNBOUNDED", "analyse",
+    "CONST", "READ", "READ_WRITE", "TIME", "WRITE",
+    "ConstType", "MemrefType", "TimeType",
+    "dialect",
+]

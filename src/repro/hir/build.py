@@ -1,0 +1,368 @@
+"""Python-embedded builder for HIR designs.
+
+The textual HIR format (see the listings in the paper) is round-trippable,
+but kernels, examples and DSL front-ends are far more convenient to express
+with a builder API.  :class:`DesignBuilder` creates a module and its
+functions; inside a function, :class:`FuncBuilder` offers one method per HIR
+operation plus context managers for loops::
+
+    design = DesignBuilder("transpose_design")
+    a_type = MemrefType((16, 16), I32, port="r")
+    c_type = MemrefType((16, 16), I32, port="w")
+    with design.func("transpose", [("Ai", a_type), ("Co", c_type)]) as f:
+        with f.for_loop(0, 16, 1, time=f.time, iter_offset=1, iv_name="i") as i_loop:
+            with f.for_loop(0, 16, 1, time=i_loop.time, iter_offset=1,
+                            iv_name="j") as j_loop:
+                v = f.mem_read(f.arg("Ai"), [i_loop.iv, j_loop.iv], time=j_loop.time)
+                j1 = f.delay(j_loop.iv, 1, time=j_loop.time)
+                f.mem_write(v, f.arg("Co"), [j1, i_loop.iv], time=j_loop.time, offset=1)
+                f.yield_(j_loop.time, offset=1)
+            f.yield_(j_loop.done, offset=1)
+        f.return_()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.ir.builder import Builder
+from repro.ir.location import Location
+from repro.ir.module import ModuleOp
+from repro.ir.types import I32, IntegerType, Type
+from repro.ir.values import Value
+from repro.hir import dialect as _dialect  # noqa: F401 - ensures registration
+from repro.hir.ops import (
+    AddOp,
+    AllocOp,
+    AndOp,
+    CallOp,
+    CmpOp,
+    ConstantOp,
+    DelayOp,
+    ExtOp,
+    ForOp,
+    FuncOp,
+    MemReadOp,
+    MemWriteOp,
+    MultOp,
+    OrOp,
+    ReturnOp,
+    SelectOp,
+    ShlOp,
+    ShrOp,
+    SubOp,
+    TruncOp,
+    UnrollForOp,
+    XorOp,
+    YieldOp,
+)
+from repro.hir.types import MemrefType
+
+ValueOrInt = Union[Value, int]
+
+
+@dataclass
+class LoopHandle:
+    """Values exposed by a loop to the code built inside (and after) it."""
+
+    op: Union[ForOp, UnrollForOp]
+    iv: Value
+    time: Value
+    done: Value
+
+
+class DesignBuilder:
+    """Builds a module containing HIR functions."""
+
+    def __init__(self, name: str = "design") -> None:
+        self.module = ModuleOp(name)
+
+    @contextmanager
+    def func(
+        self,
+        name: str,
+        args: Sequence[Tuple[str, Type]] = (),
+        result_types: Sequence[Type] = (),
+        arg_delays: Optional[Sequence[int]] = None,
+        result_delays: Optional[Sequence[int]] = None,
+        stable_args: Optional[Sequence[str]] = None,
+    ) -> Iterator["FuncBuilder"]:
+        """Create an ``hir.func`` and build its body inside the ``with`` block.
+
+        ``stable_args`` names arguments the caller holds constant for the
+        whole invocation (e.g. filter weights); their values may be consumed
+        at any cycle without an ``hir.delay``.
+        """
+        arg_names = [arg_name for arg_name, _ in args]
+        arg_types = [arg_type for _, arg_type in args]
+        stable_set = set(stable_args or ())
+        func = FuncOp(
+            name,
+            arg_types=arg_types,
+            result_types=result_types,
+            arg_names=arg_names,
+            arg_delays=arg_delays,
+            result_delays=result_delays,
+            stable_args=[name_ in stable_set for name_ in arg_names],
+            location=Location.name(name),
+        )
+        self.module.add(func)
+        yield FuncBuilder(self, func)
+
+    def extern_func(
+        self,
+        name: str,
+        arg_types: Sequence[Type],
+        result_types: Sequence[Type],
+        result_delays: Optional[Sequence[int]] = None,
+        arg_names: Optional[Sequence[str]] = None,
+    ) -> FuncOp:
+        """Declare an external (black-box Verilog) function."""
+        func = FuncOp(
+            name,
+            arg_types=arg_types,
+            result_types=result_types,
+            arg_names=arg_names,
+            result_delays=result_delays,
+            external=True,
+            location=Location.name(name),
+        )
+        self.module.add(func)
+        return func
+
+
+class FuncBuilder:
+    """Builds the body of one HIR function."""
+
+    def __init__(self, design: DesignBuilder, func: FuncOp) -> None:
+        self.design = design
+        self.func = func
+        self.builder = Builder(location=func.location)
+        self.builder.set_insertion_point_to_end(func.body)
+        self._args: Dict[str, Value] = {
+            name: value for name, value in zip(func.arg_names, func.arguments)
+        }
+        self._constants: Dict[Tuple[int, str], Value] = {}
+        self._num_constants = 0
+
+    # -- function interface ---------------------------------------------------
+    @property
+    def time(self) -> Value:
+        """The function's start-time variable ``%t``."""
+        return self.func.time_arg
+
+    def arg(self, name: str) -> Value:
+        return self._args[name]
+
+    @property
+    def args(self) -> List[Value]:
+        return list(self.func.arguments)
+
+    # -- constants and arithmetic -------------------------------------------------
+    def constant(self, value: int, result_type: Optional[Type] = None) -> Value:
+        """Materialise an ``hir.constant`` (cached per function and type).
+
+        Constants are hoisted to the top of the function body so the cached
+        value dominates every use, whichever nested region requests it.
+        """
+        key = (value, str(result_type) if result_type is not None else "!hir.const")
+        cached = self._constants.get(key)
+        if cached is not None:
+            return cached
+        op = ConstantOp(value, result_type, location=self.func.location)
+        self.func.body.insert(self._num_constants, op)
+        self._num_constants += 1
+        self._constants[key] = op.results[0]
+        return op.results[0]
+
+    def _as_value(self, value: ValueOrInt, result_type: Optional[Type] = None) -> Value:
+        if isinstance(value, Value):
+            return value
+        return self.constant(value, result_type)
+
+    def add(self, lhs: ValueOrInt, rhs: ValueOrInt,
+            result_type: Optional[Type] = None) -> Value:
+        return self._binary(AddOp, lhs, rhs, result_type)
+
+    def sub(self, lhs: ValueOrInt, rhs: ValueOrInt,
+            result_type: Optional[Type] = None) -> Value:
+        return self._binary(SubOp, lhs, rhs, result_type)
+
+    def mult(self, lhs: ValueOrInt, rhs: ValueOrInt,
+             result_type: Optional[Type] = None) -> Value:
+        return self._binary(MultOp, lhs, rhs, result_type)
+
+    def and_(self, lhs: ValueOrInt, rhs: ValueOrInt) -> Value:
+        return self._binary(AndOp, lhs, rhs, None)
+
+    def or_(self, lhs: ValueOrInt, rhs: ValueOrInt) -> Value:
+        return self._binary(OrOp, lhs, rhs, None)
+
+    def xor(self, lhs: ValueOrInt, rhs: ValueOrInt) -> Value:
+        return self._binary(XorOp, lhs, rhs, None)
+
+    def shl(self, lhs: ValueOrInt, rhs: ValueOrInt) -> Value:
+        return self._binary(ShlOp, lhs, rhs, None)
+
+    def shr(self, lhs: ValueOrInt, rhs: ValueOrInt) -> Value:
+        return self._binary(ShrOp, lhs, rhs, None)
+
+    def _binary(self, op_class, lhs: ValueOrInt, rhs: ValueOrInt,
+                result_type: Optional[Type]) -> Value:
+        lhs_value = self._as_value(lhs)
+        rhs_value = self._as_value(rhs)
+        op = self.builder.insert(op_class(lhs_value, rhs_value, result_type))
+        return op.results[0]
+
+    def cmp(self, predicate: str, lhs: ValueOrInt, rhs: ValueOrInt) -> Value:
+        op = self.builder.insert(
+            CmpOp(predicate, self._as_value(lhs), self._as_value(rhs))
+        )
+        return op.results[0]
+
+    def select(self, condition: Value, true_value: Value, false_value: Value) -> Value:
+        op = self.builder.insert(SelectOp(condition, true_value, false_value))
+        return op.results[0]
+
+    def trunc(self, value: Value, result_type: Type) -> Value:
+        return self.builder.insert(TruncOp(value, result_type)).results[0]
+
+    def ext(self, value: Value, result_type: Type, signed: bool = True) -> Value:
+        return self.builder.insert(ExtOp(value, result_type, signed)).results[0]
+
+    # -- memory ----------------------------------------------------------------------
+    def alloc(
+        self,
+        shape: Sequence[int],
+        element_type: Type = I32,
+        ports: Sequence[str] = ("r", "w"),
+        packing: Optional[Sequence[int]] = None,
+        mem_kind: str = "auto",
+        name: Optional[str] = None,
+    ) -> Tuple[Value, ...]:
+        """Instantiate an on-chip tensor; returns one value per requested port."""
+        packing_tuple = tuple(packing) if packing is not None else None
+        port_types = [
+            MemrefType(tuple(shape), element_type, port, packing_tuple) for port in ports
+        ]
+        op = self.builder.insert(AllocOp(port_types, mem_kind))
+        if name:
+            for result in op.results:
+                result.name_hint = f"{name}_{result.type.port}"  # type: ignore[attr-defined]
+        return tuple(op.results)
+
+    def mem_read(self, memref: Value, indices: Sequence[ValueOrInt], time: Value,
+                 offset: int = 0) -> Value:
+        index_values = [self._as_value(index) for index in indices]
+        op = self.builder.insert(MemReadOp(memref, index_values, time, offset))
+        return op.results[0]
+
+    def mem_write(self, value: ValueOrInt, memref: Value,
+                  indices: Sequence[ValueOrInt], time: Value, offset: int = 0) -> None:
+        index_values = [self._as_value(index) for index in indices]
+        element_type = memref.type.element_type if isinstance(memref.type, MemrefType) else None
+        self.builder.insert(
+            MemWriteOp(self._as_value(value, element_type), memref, index_values,
+                       time, offset)
+        )
+
+    def delay(self, value: ValueOrInt, cycles: int, time: Value, offset: int = 0) -> Value:
+        op = self.builder.insert(DelayOp(self._as_value(value), cycles, time, offset))
+        return op.results[0]
+
+    # -- calls -----------------------------------------------------------------------
+    def call(self, callee: Union[str, FuncOp], args: Sequence[Value], time: Value,
+             offset: int = 0) -> List[Value]:
+        """Call another HIR function (or an external Verilog module)."""
+        if isinstance(callee, FuncOp):
+            callee_op = callee
+        else:
+            looked_up = self.design.module.lookup(callee)
+            if not isinstance(looked_up, FuncOp):
+                raise ValueError(f"unknown callee @{callee}")
+            callee_op = looked_up
+        op = self.builder.insert(
+            CallOp(
+                callee_op.symbol_name,
+                args,
+                callee_op.function_type.results,
+                time,
+                offset,
+                result_delays=callee_op.result_delays,
+            )
+        )
+        return list(op.results)
+
+    # -- control flow -----------------------------------------------------------------
+    @contextmanager
+    def for_loop(
+        self,
+        lower_bound: ValueOrInt,
+        upper_bound: ValueOrInt,
+        step: ValueOrInt,
+        time: Value,
+        iter_offset: int = 1,
+        iv_type: Type = I32,
+        iv_name: str = "i",
+        time_name: Optional[str] = None,
+    ) -> Iterator[LoopHandle]:
+        """Build an ``hir.for``; the body is built inside the ``with`` block."""
+        op = self.builder.insert(
+            ForOp(
+                self._as_value(lower_bound),
+                self._as_value(upper_bound),
+                self._as_value(step),
+                time,
+                iter_offset=iter_offset,
+                iv_type=iv_type,
+                iv_name=iv_name,
+                time_name=time_name or f"t{iv_name}",
+            )
+        )
+        handle = LoopHandle(op, op.induction_var, op.iter_time, op.done_time)
+        with self.builder.at_end_of(op.body):
+            yield handle
+
+    @contextmanager
+    def unroll_for(
+        self,
+        lower_bound: int,
+        upper_bound: int,
+        step: int = 1,
+        time: Optional[Value] = None,
+        iter_offset: int = 0,
+        iv_name: str = "u",
+        time_name: Optional[str] = None,
+    ) -> Iterator[LoopHandle]:
+        """Build an ``hir.unroll_for`` (fully unrolled in hardware)."""
+        if time is None:
+            time = self.time
+        op = self.builder.insert(
+            UnrollForOp(
+                lower_bound,
+                upper_bound,
+                step,
+                time,
+                iter_offset=iter_offset,
+                iv_name=iv_name,
+                time_name=time_name or f"t{iv_name}",
+            )
+        )
+        handle = LoopHandle(op, op.induction_var, op.iter_time, op.done_time)
+        with self.builder.at_end_of(op.body):
+            yield handle
+
+    def yield_(self, time: Value, offset: int = 0) -> None:
+        """Schedule the next iteration of the innermost loop being built."""
+        self.builder.insert(YieldOp(time, offset))
+
+    def return_(self, values: Sequence[Value] = ()) -> None:
+        self.builder.insert(ReturnOp(list(values)))
+
+    # -- narrow integer helpers ------------------------------------------------------
+    def iv_type(self, trip_count: int) -> IntegerType:
+        """Smallest integer type able to count up to ``trip_count`` (inclusive)."""
+        width = max(1, trip_count.bit_length())
+        return IntegerType(width + 1)

@@ -1,0 +1,237 @@
+"""HIR dialect types: ``!hir.const``, ``!hir.time`` and ``!hir.memref``.
+
+The memref type is the paper's abstraction of on-chip memory (Section 4.4):
+it is a *port* onto a multidimensional tensor.  Each dimension is either
+
+* **packed** — elements that differ only in packed dimensions live in the same
+  physical buffer (the packed dimensions decide the in-buffer layout), or
+* **distributed** — elements that differ in a distributed dimension live in
+  different buffers, producing a banked design (Figure 3).  Distributed
+  dimensions may only be indexed with compile-time constants.
+
+Dimension indices in ``packing`` are counted from the innermost (rightmost)
+dimension, matching the HIR artifact: ``!hir.memref<3*2*i32, packing=[1], r>``
+packs the outer dimension of extent 3 and distributes the inner dimension of
+extent 2, giving two banks of three elements (exactly Figure 3).
+A memref with an empty packing list is fully distributed, i.e. every element
+gets its own register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.ir.errors import ParseError
+from repro.ir.types import IntegerType, Type
+
+#: Port kinds a memref may have.
+READ = "r"
+WRITE = "w"
+READ_WRITE = "rw"
+_PORTS = (READ, WRITE, READ_WRITE)
+
+
+@dataclass(frozen=True)
+class ConstType(Type):
+    """``!hir.const`` — a compile-time integer constant."""
+
+    def __str__(self) -> str:
+        return "!hir.const"
+
+
+@dataclass(frozen=True)
+class TimeType(Type):
+    """``!hir.time`` — a time variable (a specific clock cycle in its scope)."""
+
+    def __str__(self) -> str:
+        return "!hir.time"
+
+
+@dataclass(frozen=True)
+class MemrefType(Type):
+    """``!hir.memref`` — one port onto a multidimensional on-chip tensor."""
+
+    shape: Tuple[int, ...]
+    element_type: Type = field(default_factory=lambda: IntegerType(32))
+    port: str = READ
+    #: Packed dimension indices, counted from the innermost dimension.
+    #: ``None`` means "all dimensions are packed" (a single buffer).
+    packing: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError("memref must have at least one dimension")
+        if any(extent <= 0 for extent in self.shape):
+            raise ValueError(f"memref extents must be positive, got {self.shape}")
+        if self.port not in _PORTS:
+            raise ValueError(f"invalid memref port {self.port!r}, expected one of {_PORTS}")
+        if self.packing is not None:
+            rank = len(self.shape)
+            if any(d < 0 or d >= rank for d in self.packing):
+                raise ValueError(
+                    f"packing indices {self.packing} out of range for rank {rank}"
+                )
+            if len(set(self.packing)) != len(self.packing):
+                raise ValueError(f"duplicate packing indices {self.packing}")
+
+    # -- structural queries ---------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        total = 1
+        for extent in self.shape:
+            total *= extent
+        return total
+
+    def packed_dims(self) -> Tuple[int, ...]:
+        """Packed dimension indices counted from the *left* (dim 0 = outermost)."""
+        rank = self.rank
+        if self.packing is None:
+            return tuple(range(rank))
+        return tuple(sorted(rank - 1 - d for d in self.packing))
+
+    def distributed_dims(self) -> Tuple[int, ...]:
+        packed = set(self.packed_dims())
+        return tuple(d for d in range(self.rank) if d not in packed)
+
+    @property
+    def num_banks(self) -> int:
+        """Number of physical buffers the tensor is spread over."""
+        banks = 1
+        for dim in self.distributed_dims():
+            banks *= self.shape[dim]
+        return banks
+
+    @property
+    def elements_per_bank(self) -> int:
+        per_bank = 1
+        for dim in self.packed_dims():
+            per_bank *= self.shape[dim]
+        return per_bank
+
+    @property
+    def is_register_implemented(self) -> bool:
+        """True when every element has its own register (no packed storage)."""
+        return self.elements_per_bank == 1
+
+    @property
+    def read_latency(self) -> int:
+        """Cycles between issuing a read and the data being valid.
+
+        Register-implemented memrefs read combinationally (0 cycles); RAMs
+        (distributed or block) take one cycle, as in Section 4.1 of the paper.
+        """
+        return 0 if self.is_register_implemented else 1
+
+    @property
+    def can_read(self) -> bool:
+        return self.port in (READ, READ_WRITE)
+
+    @property
+    def can_write(self) -> bool:
+        return self.port in (WRITE, READ_WRITE)
+
+    # -- addressing ----------------------------------------------------------
+    def bank_of(self, indices: Sequence[int]) -> int:
+        """Flat bank index selected by the distributed-dimension indices."""
+        self._check_indices(indices)
+        bank = 0
+        for dim in self.distributed_dims():
+            bank = bank * self.shape[dim] + indices[dim]
+        return bank
+
+    def offset_in_bank(self, indices: Sequence[int]) -> int:
+        """Linear address inside the bank selected by the packed dims."""
+        self._check_indices(indices)
+        offset = 0
+        for dim in self.packed_dims():
+            offset = offset * self.shape[dim] + indices[dim]
+        return offset
+
+    def _check_indices(self, indices: Sequence[int]) -> None:
+        if len(indices) != self.rank:
+            raise ValueError(
+                f"expected {self.rank} indices for memref of shape {self.shape}, "
+                f"got {len(indices)}"
+            )
+        for dim, (index, extent) in enumerate(zip(indices, self.shape)):
+            if not 0 <= index < extent:
+                raise ValueError(
+                    f"index {index} out of bounds for dimension {dim} "
+                    f"(extent {extent})"
+                )
+
+    # -- derived types --------------------------------------------------------
+    def with_port(self, port: str) -> "MemrefType":
+        return MemrefType(self.shape, self.element_type, port, self.packing)
+
+    @property
+    def address_width(self) -> int:
+        """Bits required to address one element inside a bank."""
+        per_bank = self.elements_per_bank
+        if per_bank <= 1:
+            return 0
+        return max(1, (per_bank - 1).bit_length())
+
+    # -- printing -------------------------------------------------------------
+    def __str__(self) -> str:
+        dims = "*".join(str(extent) for extent in self.shape)
+        parts = [f"{dims}*{self.element_type}", self.port]
+        if self.packing is not None:
+            packing = ",".join(str(d) for d in sorted(self.packing))
+            parts.append(f"packing=[{packing}]")
+        return f"!hir.memref<{', '.join(parts)}>"
+
+
+CONST = ConstType()
+TIME = TimeType()
+
+
+def parse_memref_body(body: str) -> MemrefType:
+    """Parse the text between ``<`` and ``>`` of a ``!hir.memref`` type.
+
+    The printer and parser in :mod:`repro.ir` hand the body over as a
+    whitespace-normalised string such as ``"16 * 16 * i32 , r"`` or
+    ``"2 * i32 , r , packing = [ ]"``.
+    """
+    from repro.ir.parser import parse_simple_type  # deferred: avoid import cycle
+
+    sections = [section.strip() for section in body.split(",")]
+    # Re-join the packing list, which itself contains commas.
+    merged: list[str] = []
+    depth = 0
+    for section in sections:
+        if depth > 0:
+            merged[-1] += "," + section
+        else:
+            merged.append(section)
+        depth += section.count("[") - section.count("]")
+    sections = merged
+
+    if not sections or not sections[0]:
+        raise ParseError("empty !hir.memref body")
+
+    dims_and_element = [part.strip() for part in sections[0].split("*")]
+    if len(dims_and_element) < 2:
+        raise ParseError(f"malformed memref shape {sections[0]!r}")
+    shape = tuple(int(part) for part in dims_and_element[:-1])
+    element_type = parse_simple_type(dims_and_element[-1].replace(" ", ""))
+
+    port = READ
+    packing: Optional[Tuple[int, ...]] = None
+    for section in sections[1:]:
+        section = section.replace(" ", "")
+        if not section:
+            continue
+        if section in _PORTS:
+            port = section
+        elif section.startswith("packing="):
+            inner = section[len("packing="):].strip("[]")
+            packing = tuple(int(p) for p in inner.split(",") if p != "")
+        else:
+            raise ParseError(f"unknown memref qualifier {section!r}")
+    return MemrefType(shape, element_type, port, packing)

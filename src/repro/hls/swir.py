@@ -1,0 +1,269 @@
+"""The software-level IR consumed by the baseline HLS compiler.
+
+Vivado HLS compiles C/C++: loops and array accesses with *no* scheduling
+information; the compiler decides when every operation executes.  This module
+is the reproduction's equivalent input language: a small, unscheduled,
+C-like IR with loops, array loads/stores, scalar arithmetic and the pragmas
+the paper mentions (loop pipelining with a requested initiation interval,
+unrolling, array partitioning).
+
+The baseline compiler (:mod:`repro.hls.compiler`) schedules and binds this IR
+and emits Verilog through the same AST as the HIR compiler so the evaluation
+can apply one resource model to both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+# --------------------------------------------------------------------------- #
+# Expressions
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class of scalar expressions."""
+
+
+@dataclass(frozen=True)
+class IntConst(Expr):
+    value: int
+    width: int = 32
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A scalar variable (loop index, temporary or scalar argument)."""
+
+    name: str
+    width: int = 32
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinExpr(Expr):
+    """Binary arithmetic / comparison expression."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+def variables_in(expr: Expr) -> List[str]:
+    """Names of the variables an expression reads."""
+    if isinstance(expr, Var):
+        return [expr.name]
+    if isinstance(expr, BinExpr):
+        return variables_in(expr.lhs) + variables_in(expr.rhs)
+    return []
+
+
+# --------------------------------------------------------------------------- #
+# Statements
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Statement:
+    """Base class of statements."""
+
+
+@dataclass
+class Assign(Statement):
+    """``target = expr`` on scalars."""
+
+    target: str
+    expr: Expr
+    width: int = 32
+
+
+@dataclass
+class Load(Statement):
+    """``target = array[indices]``."""
+
+    target: str
+    array: str
+    indices: Tuple[Expr, ...]
+    width: int = 32
+
+
+@dataclass
+class Store(Statement):
+    """``array[indices] = value``."""
+
+    array: str
+    indices: Tuple[Expr, ...]
+    value: Expr
+
+
+@dataclass
+class Pragmas:
+    """Loop-level directives, the analogue of Vivado HLS pragmas."""
+
+    pipeline: bool = False
+    initiation_interval: Optional[int] = None
+    unroll_factor: int = 1
+
+
+@dataclass
+class For(Statement):
+    """A counted loop ``for (var = lb; var < ub; var += step)``.
+
+    ``counter_width`` models manually reduced loop-counter precision in the
+    C source (``ap_int<N>`` loop variables); automatic tools keep the default
+    32 bits, which is exactly the Table 4 comparison.
+    """
+
+    var: str
+    lower: int
+    upper: int
+    step: int
+    body: List[Statement] = field(default_factory=list)
+    pragmas: Pragmas = field(default_factory=Pragmas)
+    counter_width: int = 32
+
+    @property
+    def trip_count(self) -> int:
+        if self.step <= 0 or self.upper <= self.lower:
+            return 0
+        return (self.upper - self.lower + self.step - 1) // self.step
+
+
+# --------------------------------------------------------------------------- #
+# Functions and programs
+# --------------------------------------------------------------------------- #
+
+ARRAY = "array"
+SCALAR = "scalar"
+
+
+@dataclass
+class Param:
+    """A top-level function parameter."""
+
+    name: str
+    kind: str = ARRAY
+    shape: Tuple[int, ...] = ()
+    width: int = 32
+    #: "in", "out" or "inout"; decides the generated memory interface.
+    direction: str = "in"
+    #: Cyclic partitioning factor requested by an array_partition pragma.
+    partition_factor: int = 1
+
+
+@dataclass
+class LocalArray:
+    """A locally declared on-chip buffer."""
+
+    name: str
+    shape: Tuple[int, ...]
+    width: int = 32
+    partition_factor: int = 1
+
+
+@dataclass
+class Function:
+    name: str
+    params: List[Param] = field(default_factory=list)
+    locals: List[LocalArray] = field(default_factory=list)
+    body: List[Statement] = field(default_factory=list)
+    returns: Optional[str] = None
+
+    def param(self, name: str) -> Param:
+        for param in self.params:
+            if param.name == name:
+                return param
+        raise KeyError(name)
+
+    def array_shape(self, name: str) -> Tuple[int, ...]:
+        for param in self.params:
+            if param.name == name and param.kind == ARRAY:
+                return param.shape
+        for local in self.locals:
+            if local.name == name:
+                return local.shape
+        raise KeyError(f"unknown array {name!r}")
+
+
+@dataclass
+class Program:
+    name: str
+    functions: List[Function] = field(default_factory=list)
+
+    def function(self, name: str) -> Function:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise KeyError(name)
+
+
+# --------------------------------------------------------------------------- #
+# Convenience builder
+# --------------------------------------------------------------------------- #
+
+
+class SwBuilder:
+    """Small helper for constructing software-IR functions in tests/kernels."""
+
+    def __init__(self, name: str) -> None:
+        self.program = Program(name)
+
+    def function(self, name: str, params: Sequence[Param],
+                 locals_: Sequence[LocalArray] = ()) -> Function:
+        function = Function(name, list(params), list(locals_))
+        self.program.functions.append(function)
+        return function
+
+    @staticmethod
+    def for_loop(var: str, lower: int, upper: int, step: int = 1,
+                 pipeline: bool = False, ii: Optional[int] = None,
+                 unroll: int = 1, counter_width: int = 32) -> For:
+        return For(var, lower, upper, step,
+                   pragmas=Pragmas(pipeline=pipeline, initiation_interval=ii,
+                                   unroll_factor=unroll),
+                   counter_width=counter_width)
+
+    @staticmethod
+    def load(target: str, array: str, *indices: Union[Expr, int, str]) -> Load:
+        return Load(target, array, tuple(_expr(i) for i in indices))
+
+    @staticmethod
+    def store(array: str, value: Union[Expr, int, str],
+              *indices: Union[Expr, int, str]) -> Store:
+        return Store(array, tuple(_expr(i) for i in indices), _expr(value))
+
+    @staticmethod
+    def assign(target: str, expr: Union[Expr, int, str]) -> Assign:
+        return Assign(target, _expr(expr))
+
+    @staticmethod
+    def add(lhs, rhs) -> BinExpr:
+        return BinExpr("+", _expr(lhs), _expr(rhs))
+
+    @staticmethod
+    def sub(lhs, rhs) -> BinExpr:
+        return BinExpr("-", _expr(lhs), _expr(rhs))
+
+    @staticmethod
+    def mul(lhs, rhs) -> BinExpr:
+        return BinExpr("*", _expr(lhs), _expr(rhs))
+
+
+def _expr(value: Union[Expr, int, str]) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, int):
+        return IntConst(value)
+    if isinstance(value, str):
+        return Var(value)
+    raise TypeError(f"cannot convert {value!r} to an expression")

@@ -1,0 +1,140 @@
+"""Attributes: compile-time constant metadata attached to operations.
+
+Just like MLIR, attributes are immutable and attached to operations in a
+string-keyed dictionary.  The HIR dialect uses them for loop bounds on
+``unroll_for``, delays on function signatures, memref packing, etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.ir.types import Type
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """Base class of every attribute."""
+
+    def __str__(self) -> str:  # pragma: no cover - subclasses override
+        return "<attr>"
+
+
+@dataclass(frozen=True)
+class IntegerAttr(Attribute):
+    """An integer constant, optionally carrying the type it should have."""
+
+    value: int
+    type: Type | None = None
+
+    def __str__(self) -> str:
+        if self.type is not None:
+            return f"{self.value} : {self.type}"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class FloatAttr(Attribute):
+    value: float
+    type: Type | None = None
+
+    def __str__(self) -> str:
+        if self.type is not None:
+            return f"{self.value} : {self.type}"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BoolAttr(Attribute):
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class StringAttr(Attribute):
+    value: str
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class SymbolRefAttr(Attribute):
+    """Reference to a symbol (e.g. the callee of ``hir.call``)."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f"@{self.value}"
+
+
+@dataclass(frozen=True)
+class TypeAttr(Attribute):
+    value: Type
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ArrayAttr(Attribute):
+    """A tuple of attributes (used for delay lists, packing lists, ...)."""
+
+    elements: Tuple[Attribute, ...]
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(str(e) for e in self.elements) + "]"
+
+    def __iter__(self):
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __getitem__(self, index: int) -> Attribute:
+        return self.elements[index]
+
+
+AttributeValue = Union[int, float, bool, str, Type, Attribute, tuple, list]
+
+
+def attr(value: AttributeValue) -> Attribute:
+    """Wrap a plain Python value into the corresponding attribute.
+
+    Builders use this so call sites can write ``{"depth": 16}`` instead of
+    ``{"depth": IntegerAttr(16)}``.
+    """
+    if isinstance(value, Attribute):
+        return value
+    if isinstance(value, bool):
+        return BoolAttr(value)
+    if isinstance(value, int):
+        return IntegerAttr(value)
+    if isinstance(value, float):
+        return FloatAttr(value)
+    if isinstance(value, str):
+        return StringAttr(value)
+    if isinstance(value, Type):
+        return TypeAttr(value)
+    if isinstance(value, (tuple, list)):
+        return ArrayAttr(tuple(attr(v) for v in value))
+    raise TypeError(f"cannot convert {value!r} to an attribute")
+
+
+def int_of(attribute: Attribute) -> int:
+    """Extract the integer payload of an attribute, with type checking."""
+    if isinstance(attribute, IntegerAttr):
+        return attribute.value
+    if isinstance(attribute, BoolAttr):
+        return int(attribute.value)
+    raise TypeError(f"expected an integer attribute, got {attribute!r}")
+
+
+def ints_of(attribute: Attribute) -> Tuple[int, ...]:
+    """Extract a tuple of integers from an array attribute."""
+    if isinstance(attribute, ArrayAttr):
+        return tuple(int_of(e) for e in attribute.elements)
+    raise TypeError(f"expected an array attribute, got {attribute!r}")

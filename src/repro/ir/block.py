@@ -1,0 +1,82 @@
+"""Basic blocks.
+
+HIR uses structured control flow (regions with a single block), so blocks
+never branch to one another; a block is simply an ordered list of operations
+plus its arguments (induction variables, time variables, ...).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from repro.ir.types import Type
+from repro.ir.values import BlockArgument
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.operation import Operation
+    from repro.ir.region import Region
+
+
+class Block:
+    """An ordered sequence of operations with typed block arguments."""
+
+    def __init__(self) -> None:
+        self.arguments: List[BlockArgument] = []
+        self.operations: List["Operation"] = []
+        self.parent_region: Optional["Region"] = None
+
+    # -- arguments --------------------------------------------------------
+    def add_argument(self, type: Type, name_hint: Optional[str] = None) -> BlockArgument:
+        arg = BlockArgument(self, len(self.arguments), type, name_hint)
+        self.arguments.append(arg)
+        return arg
+
+    # -- operation list management ----------------------------------------
+    def append(self, operation: "Operation") -> "Operation":
+        """Append ``operation`` at the end of the block and claim ownership."""
+        operation.parent_block = self
+        self.operations.append(operation)
+        return operation
+
+    def insert(self, index: int, operation: "Operation") -> "Operation":
+        operation.parent_block = self
+        self.operations.insert(index, operation)
+        return operation
+
+    def insert_before(self, anchor: "Operation", operation: "Operation") -> "Operation":
+        return self.insert(self.index_of(anchor), operation)
+
+    def insert_after(self, anchor: "Operation", operation: "Operation") -> "Operation":
+        return self.insert(self.index_of(anchor) + 1, operation)
+
+    def remove(self, operation: "Operation") -> None:
+        self.operations.remove(operation)
+        operation.parent_block = None
+
+    def index_of(self, operation: "Operation") -> int:
+        for i, op in enumerate(self.operations):
+            if op is operation:
+                return i
+        raise ValueError("operation is not in this block")
+
+    # -- traversal ----------------------------------------------------------
+    def walk(self) -> Iterator["Operation"]:
+        """Pre-order walk of every operation nested under this block."""
+        for op in list(self.operations):
+            yield op
+            yield from op.walk_nested()
+
+    @property
+    def parent_op(self) -> Optional["Operation"]:
+        if self.parent_region is None:
+            return None
+        return self.parent_region.parent_op
+
+    def __iter__(self) -> Iterator["Operation"]:
+        return iter(self.operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __repr__(self) -> str:
+        return f"<Block with {len(self.arguments)} args, {len(self.operations)} ops>"

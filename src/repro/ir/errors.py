@@ -1,0 +1,56 @@
+"""Exception hierarchy for the IR infrastructure and the HIR compiler.
+
+Every error raised by the compiler carries an optional :class:`~repro.ir.location.Location`
+so diagnostics can point back at the construct that caused them, mirroring how
+MLIR attaches locations to every operation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.ir.location import Location
+
+
+class IRError(Exception):
+    """Base class for every error produced by the IR infrastructure."""
+
+    def __init__(self, message: str, location: Optional["Location"] = None) -> None:
+        self.message = message
+        self.location = location
+        super().__init__(self.formatted())
+
+    def formatted(self) -> str:
+        """Return the diagnostic text with the location prefix, if any."""
+        if self.location is not None:
+            return f"{self.location}: {self.message}"
+        return self.message
+
+
+class VerificationError(IRError):
+    """Raised when structural IR verification fails (bad operands, dominance...)."""
+
+
+class ScheduleError(VerificationError):
+    """Raised by the schedule verifier for timing/scheduling mistakes.
+
+    These correspond to the diagnostics shown in Figure 1 (wrong operand
+    time) and Figure 2 (pipeline imbalance) of the paper.
+    """
+
+
+class ParseError(IRError):
+    """Raised by the textual parser on malformed input."""
+
+
+class LoweringError(IRError):
+    """Raised by the Verilog code generator when a design cannot be lowered."""
+
+
+class SimulationError(IRError):
+    """Raised by the simulators on malformed designs or testbench misuse."""
+
+
+class HLSError(IRError):
+    """Raised by the baseline HLS compiler (scheduling/binding failures)."""

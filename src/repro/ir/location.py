@@ -1,0 +1,64 @@
+"""Source-location tracking.
+
+The paper uses MLIR's location tracking to emit the HIR source position of
+every operation as a comment in the generated Verilog (Section 5.5), which is
+how designers map timing failures back to HIR.  We reproduce the same
+mechanism: every operation carries a :class:`Location` and the Verilog emitter
+prints it next to the hardware it produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Location:
+    """Base location. ``unknown()`` is used when no better location exists."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden by subclasses
+        return "loc(unknown)"
+
+    @staticmethod
+    def unknown() -> "UnknownLocation":
+        return UnknownLocation()
+
+    @staticmethod
+    def file(filename: str, line: int, column: int = 0) -> "FileLocation":
+        return FileLocation(filename, line, column)
+
+    @staticmethod
+    def name(name: str) -> "NameLocation":
+        return NameLocation(name)
+
+
+@dataclass(frozen=True)
+class UnknownLocation(Location):
+    """A location for IR constructed programmatically with no source info."""
+
+    def __str__(self) -> str:
+        return "loc(unknown)"
+
+
+@dataclass(frozen=True)
+class FileLocation(Location):
+    """A ``file:line:column`` location, as produced by the textual parser."""
+
+    filename: str
+    line: int
+    column: int = 0
+
+    def __str__(self) -> str:
+        if self.column:
+            return f"{self.filename}:{self.line}:{self.column}"
+        return f"{self.filename}:{self.line}"
+
+
+@dataclass(frozen=True)
+class NameLocation(Location):
+    """A named location, used by builders (e.g. ``loc("gemm.systolic.pe")``)."""
+
+    identifier: str
+
+    def __str__(self) -> str:
+        return f'loc("{self.identifier}")'

@@ -1,0 +1,70 @@
+"""The top-level module operation and its symbol table.
+
+A :class:`ModuleOp` holds one region with a single block containing all the
+``hir.func`` operations of a design (and, for the HLS baseline, ``sw.func``
+operations).  Symbol lookup is by the ``sym_name`` attribute, which is how
+``hir.call`` resolves its callee.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.ir.attributes import StringAttr
+from repro.ir.errors import VerificationError
+from repro.ir.location import Location
+from repro.ir.operation import Operation, register_operation
+
+
+@register_operation
+class ModuleOp(Operation):
+    """Top-level container of a design."""
+
+    OPERATION_NAME = "builtin.module"
+
+    def __init__(self, name: str = "module", location: Optional[Location] = None) -> None:
+        super().__init__(
+            attributes={"sym_name": name},
+            num_regions=1,
+            location=location,
+        )
+        self.regions[0].add_block()
+
+    @property
+    def module_name(self) -> str:
+        name_attr = self.get_attr("sym_name")
+        return name_attr.value if isinstance(name_attr, StringAttr) else "module"
+
+    # -- symbol table -------------------------------------------------------
+    def symbols(self) -> Iterator[Operation]:
+        """Iterate over the operations directly nested in the module body."""
+        return iter(self.body.operations)
+
+    def lookup(self, symbol: str) -> Optional[Operation]:
+        """Find the operation whose ``sym_name`` attribute matches ``symbol``."""
+        for op in self.body.operations:
+            sym = op.get_attr("sym_name")
+            if isinstance(sym, StringAttr) and sym.value == symbol:
+                return op
+        return None
+
+    def require(self, symbol: str) -> Operation:
+        op = self.lookup(symbol)
+        if op is None:
+            raise VerificationError(f"unknown symbol @{symbol}", self.location)
+        return op
+
+    def add(self, op: Operation) -> Operation:
+        """Append an operation (typically a function) to the module body."""
+        return self.body.append(op)
+
+    def verify_op(self) -> None:
+        seen = set()
+        for op in self.body.operations:
+            sym = op.get_attr("sym_name")
+            if isinstance(sym, StringAttr):
+                if sym.value in seen:
+                    raise VerificationError(
+                        f"duplicate symbol @{sym.value} in module", op.location
+                    )
+                seen.add(sym.value)

@@ -1,0 +1,82 @@
+"""Pass infrastructure: passes, pass pipelines and per-pass statistics.
+
+Modelled after MLIR's pass manager, trimmed down to what the HIR compiler and
+the baseline HLS compiler need: module-level passes run in sequence, each pass
+can record statistics (e.g. "ops removed by CSE"), and the manager can verify
+the IR after each pass.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir.operation import Operation
+from repro.ir.verifier import verify
+
+
+class Pass:
+    """Base class for a transformation or analysis over a module."""
+
+    #: Human-readable pass name, used in statistics and timing reports.
+    name: str = "unnamed-pass"
+
+    def __init__(self) -> None:
+        self.statistics: Dict[str, int] = {}
+
+    def run(self, module: Operation) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def record(self, key: str, amount: int = 1) -> None:
+        """Increment a named statistic."""
+        self.statistics[key] = self.statistics.get(key, 0) + amount
+
+
+@dataclass
+class PassTiming:
+    name: str
+    seconds: float
+    statistics: Dict[str, int] = field(default_factory=dict)
+
+
+class PassManager:
+    """Runs a sequence of passes over a module."""
+
+    def __init__(self, verify_each: bool = True) -> None:
+        self.passes: List[Pass] = []
+        self.verify_each = verify_each
+        self.timings: List[PassTiming] = []
+
+    def add(self, *passes: Pass) -> "PassManager":
+        self.passes.extend(passes)
+        return self
+
+    def run(self, module: Operation) -> Operation:
+        """Run every registered pass in order and return the module."""
+        self.timings = []
+        for pass_ in self.passes:
+            start = time.perf_counter()
+            pass_.run(module)
+            elapsed = time.perf_counter() - start
+            self.timings.append(
+                PassTiming(pass_.name, elapsed, dict(pass_.statistics))
+            )
+            if self.verify_each:
+                verify(module)
+        return module
+
+    def timing_report(self) -> str:
+        """A human-readable per-pass timing/statistics report."""
+        lines = ["pass timing report", "-" * 48]
+        for timing in self.timings:
+            lines.append(f"{timing.name:<32} {timing.seconds * 1e3:8.3f} ms")
+            for key, value in sorted(timing.statistics.items()):
+                lines.append(f"    {key}: {value}")
+        return "\n".join(lines)
+
+    def statistic(self, pass_name: str, key: str) -> Optional[int]:
+        for timing in self.timings:
+            if timing.name == pass_name and key in timing.statistics:
+                return timing.statistics[key]
+        return None

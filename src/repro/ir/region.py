@@ -1,0 +1,52 @@
+"""Regions: nested lexical scopes owned by an operation.
+
+``hir.func``, ``hir.for`` and ``hir.unroll_for`` each own a single-block
+region that forms the body of the construct.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from repro.ir.block import Block
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.operation import Operation
+
+
+class Region:
+    """A list of blocks owned by a parent operation."""
+
+    def __init__(self, parent_op: Optional["Operation"] = None) -> None:
+        self.blocks: List[Block] = []
+        self.parent_op = parent_op
+
+    def add_block(self, block: Optional[Block] = None) -> Block:
+        block = block if block is not None else Block()
+        block.parent_region = self
+        self.blocks.append(block)
+        return block
+
+    @property
+    def block(self) -> Block:
+        """The single block of a structured-control-flow region."""
+        if not self.blocks:
+            raise ValueError("region has no blocks")
+        return self.blocks[0]
+
+    @property
+    def empty(self) -> bool:
+        return not self.blocks
+
+    def walk(self) -> Iterator["Operation"]:
+        for block in self.blocks:
+            yield from block.walk()
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __repr__(self) -> str:
+        return f"<Region with {len(self.blocks)} blocks>"

@@ -1,0 +1,44 @@
+"""Benchmark kernels of the paper's evaluation (Section 8).
+
+``KERNEL_BUILDERS`` maps kernel names to their ``build`` functions; each
+returns a :class:`~repro.kernels.base.KernelArtifacts` with the HIR design,
+the matching HLS-baseline program, reference models and input generators.
+"""
+
+from typing import Callable, Dict, List
+
+from repro.kernels import convolution, fifo, gemm, histogram, stencil1d, transpose
+from repro.kernels.base import KernelArtifacts, default_rng
+
+KERNEL_BUILDERS: Dict[str, Callable[..., KernelArtifacts]] = {
+    "transpose": transpose.build,
+    "stencil_1d": stencil1d.build,
+    "histogram": histogram.build,
+    "gemm": gemm.build,
+    "convolution": convolution.build,
+    "fifo": fifo.build,
+}
+
+
+def build_kernel(name: str, **parameters) -> KernelArtifacts:
+    """Build one kernel by name with optional size parameters."""
+    return KERNEL_BUILDERS[name](**parameters)
+
+
+def kernel_names() -> List[str]:
+    return list(KERNEL_BUILDERS)
+
+
+__all__ = [
+    "KERNEL_BUILDERS",
+    "KernelArtifacts",
+    "build_kernel",
+    "default_rng",
+    "kernel_names",
+    "convolution",
+    "fifo",
+    "gemm",
+    "histogram",
+    "stencil1d",
+    "transpose",
+]

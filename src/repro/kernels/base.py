@@ -1,0 +1,53 @@
+"""Common infrastructure for the benchmark kernels.
+
+Every kernel in :mod:`repro.kernels` provides the same artefacts so the
+evaluation harness, the tests and the benchmarks can treat them uniformly:
+
+* an HIR module (the design the HIR compiler consumes),
+* a software-IR program with pragmas (the design the baseline HLS compiler
+  consumes), matched in loop structure and pipelining to the HIR design, and
+* a numpy reference implementation plus input generators for functional
+  validation of the HIR-generated hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.ir.module import ModuleOp
+from repro.hir.types import MemrefType
+from repro.hls.swir import Program
+
+
+@dataclass
+class KernelArtifacts:
+    """Everything the harness needs to compile, run and check one kernel."""
+
+    name: str
+    #: The HIR design.
+    module: ModuleOp
+    #: Symbol name of the top-level function.
+    top: str
+    #: Memref interfaces of the top function (argument name -> type).
+    interfaces: Dict[str, MemrefType] = field(default_factory=dict)
+    #: Scalar arguments of the top function (argument name -> value).
+    scalar_args: Dict[str, int] = field(default_factory=dict)
+    #: The matching software-IR program for the baseline HLS compiler.
+    hls_program: Optional[Program] = None
+    #: Name of the HLS function to compile (defaults to the program's last).
+    hls_function: Optional[str] = None
+    #: Generate input tensors: seed -> {interface name: numpy array}.
+    make_inputs: Optional[Callable[[int], Dict[str, np.ndarray]]] = None
+    #: Reference model: inputs -> {output interface name: expected array}.
+    reference: Optional[Callable[[Dict[str, np.ndarray]], Dict[str, np.ndarray]]] = None
+    #: Behavioural models for external (black-box) modules, keyed by name.
+    external_models: Dict[str, Callable] = field(default_factory=dict)
+    #: Free-form notes (design decisions, paper correspondence).
+    notes: str = ""
+
+
+def default_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)

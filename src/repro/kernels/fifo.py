@@ -1,0 +1,156 @@
+"""FIFO stream buffer (the "FIFO (Verilog)" row of Table 5).
+
+The paper compares an HIR FIFO against a hand-written Verilog FIFO.  Two
+artefacts are therefore provided:
+
+* :func:`build` — the HIR design: a producer loop streams the input into an
+  on-chip block-RAM buffer and a consumer loop, started a fixed number of
+  cycles later, streams it out again.  The two loops run in lock step with no
+  handshake — the deterministic, synchronization-free task-level parallelism
+  of Section 5.3 — so the buffer behaves exactly like a flow-through FIFO.
+* :func:`build_verilog_fifo` — the hand-written Verilog baseline: a classic
+  circular-buffer FIFO with read/write pointers, occupancy counter and
+  full/empty flags.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.ir.types import I32
+from repro.hir.build import DesignBuilder
+from repro.hir.types import MemrefType
+from repro.kernels.base import KernelArtifacts, default_rng
+from repro.verilog.ast import (
+    BinOp,
+    Const,
+    Design,
+    If,
+    INPUT,
+    MemIndex,
+    MemWrite,
+    Module,
+    NonBlockingAssign,
+    OUTPUT,
+    Ref,
+    UnOp,
+)
+
+#: Buffer depth of both the HIR and the hand-written design.
+DEPTH = 512
+#: How many cycles after the producer the consumer starts (covers the
+#: interface-read plus buffer-write latency of the producer loop).
+CONSUMER_LAG = 4
+
+
+def build_hir(depth: int = DEPTH) -> DesignBuilder:
+    design = DesignBuilder("fifo_design")
+    in_type = MemrefType((depth,), I32, port="r")
+    out_type = MemrefType((depth,), I32, port="w")
+    with design.func("fifo_stream", [("din", in_type), ("dout", out_type)]) as f:
+        buffer_r, buffer_w = f.alloc((depth,), I32, ports=("r", "w"),
+                                     mem_kind="bram", name="fifo_buf")
+        # Producer: one element per cycle from the input interface.
+        with f.for_loop(0, depth, 1, time=f.time, iter_offset=1,
+                        iv_name="wp") as producer:
+            value = f.mem_read(f.arg("din"), [producer.iv], time=producer.time)
+            write_index = f.delay(producer.iv, 1, time=producer.time)
+            f.mem_write(value, buffer_w, [write_index], time=producer.time,
+                        offset=1)
+            f.yield_(producer.time, offset=1)
+        # Consumer: starts CONSUMER_LAG cycles later, one element per cycle.
+        with f.for_loop(0, depth, 1, time=f.time, iter_offset=1 + CONSUMER_LAG,
+                        iv_name="rp") as consumer:
+            value = f.mem_read(buffer_r, [consumer.iv], time=consumer.time)
+            read_index = f.delay(consumer.iv, 1, time=consumer.time)
+            f.mem_write(value, f.arg("dout"), [read_index], time=consumer.time,
+                        offset=1)
+            f.yield_(consumer.time, offset=1)
+        f.return_()
+    return design
+
+
+def build_verilog_fifo(depth: int = DEPTH, width: int = 32) -> Design:
+    """The hand-written Verilog FIFO the paper uses as its baseline."""
+    address_width = max(1, (depth - 1).bit_length())
+    module = Module("fifo")
+    module.header_comments.append(
+        f"hand-written circular-buffer FIFO: depth={depth}, width={width}"
+    )
+    module.add_port("clk", INPUT, 1)
+    module.add_port("rst", INPUT, 1)
+    module.add_port("wr_en", INPUT, 1)
+    module.add_port("wr_data", INPUT, width)
+    module.add_port("rd_en", INPUT, 1)
+    module.add_port("rd_data", OUTPUT, width)
+    module.add_port("full", OUTPUT, 1)
+    module.add_port("empty", OUTPUT, 1)
+
+    module.add_memory("mem", width, depth, kind="bram")
+    module.add_reg("wr_ptr", address_width)
+    module.add_reg("rd_ptr", address_width)
+    module.add_reg("count", address_width + 1)
+    module.add_reg("rd_data_reg", width)
+
+    module.add_assign("full", BinOp("==", Ref("count"), Const(depth, address_width + 1)))
+    module.add_assign("empty", BinOp("==", Ref("count"), Const(0, address_width + 1)))
+    module.add_assign("rd_data", Ref("rd_data_reg"))
+
+    push = BinOp("&", Ref("wr_en"), UnOp("!", Ref("full")))
+    pop = BinOp("&", Ref("rd_en"), UnOp("!", Ref("empty")))
+    module.add_wire("do_push", 1)
+    module.add_wire("do_pop", 1)
+    module.add_assign("do_push", push)
+    module.add_assign("do_pop", pop)
+
+    clocked = module.add_always()
+    clocked.body.append(
+        If(Ref("do_push"), [
+            MemWrite("mem", Ref("wr_ptr"), Ref("wr_data")),
+            NonBlockingAssign("wr_ptr", BinOp("+", Ref("wr_ptr"), Const(1, address_width))),
+        ])
+    )
+    clocked.body.append(
+        If(Ref("do_pop"), [
+            NonBlockingAssign("rd_data_reg", MemIndex("mem", Ref("rd_ptr"))),
+            NonBlockingAssign("rd_ptr", BinOp("+", Ref("rd_ptr"), Const(1, address_width))),
+        ])
+    )
+    clocked.body.append(
+        If(BinOp("&", Ref("do_push"), UnOp("!", Ref("do_pop"))),
+           [NonBlockingAssign("count", BinOp("+", Ref("count"), Const(1, address_width + 1)))],
+           [If(BinOp("&", Ref("do_pop"), UnOp("!", Ref("do_push"))),
+               [NonBlockingAssign("count", BinOp("-", Ref("count"), Const(1, address_width + 1)))])])
+    )
+
+    design = Design(top="fifo")
+    design.add(module)
+    return design
+
+
+def build(depth: int = DEPTH) -> KernelArtifacts:
+    design = build_hir(depth)
+    in_type = MemrefType((depth,), I32, port="r")
+    out_type = MemrefType((depth,), I32, port="w")
+
+    def make_inputs(seed: int) -> Dict[str, np.ndarray]:
+        rng = default_rng(seed)
+        return {"din": rng.integers(-10000, 10000, size=(depth,)),
+                "dout": np.zeros((depth,), dtype=np.int64)}
+
+    def reference(inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {"dout": np.asarray(inputs["din"], dtype=np.int64)}
+
+    return KernelArtifacts(
+        name="fifo",
+        module=design.module,
+        top="fifo_stream",
+        interfaces={"din": in_type, "dout": out_type},
+        make_inputs=make_inputs,
+        reference=reference,
+        notes=(f"flow-through FIFO of depth {depth}: producer and consumer "
+               "loops overlapped in lock step (no handshake); baseline is a "
+               "hand-written Verilog circular-buffer FIFO"),
+    )

@@ -1,0 +1,128 @@
+"""Canonicalization: algebraic identities, constant de-duplication and DCE.
+
+These are the "standard optimizations well-known in the software compiler
+domain" the paper inherits for free from building on a compiler IR
+(Section 6.2): they reduce hardware because an unused combinational op is an
+unused LUT cluster, and ``x + 0`` is just a wire.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import Pass
+from repro.ir.values import Value
+from repro.hir.ops import (
+    AddOp,
+    AndOp,
+    ConstantOp,
+    DelayOp,
+    MultOp,
+    OrOp,
+    ShlOp,
+    ShrOp,
+    SubOp,
+    XorOp,
+    constant_value,
+)
+from repro.passes.common import functions_in
+
+
+def _simplify(op: Operation) -> Optional[Value]:
+    """Return a value that can replace ``op``'s single result, or None."""
+    if isinstance(op, AddOp):
+        if constant_value(op.rhs) == 0:
+            return op.lhs
+        if constant_value(op.lhs) == 0:
+            return op.rhs
+    elif isinstance(op, SubOp):
+        if constant_value(op.rhs) == 0:
+            return op.lhs
+    elif isinstance(op, MultOp):
+        if constant_value(op.rhs) == 1:
+            return op.lhs
+        if constant_value(op.lhs) == 1:
+            return op.rhs
+    elif isinstance(op, (ShlOp, ShrOp)):
+        if constant_value(op.rhs) == 0:
+            return op.lhs
+    elif isinstance(op, (OrOp, XorOp)):
+        if constant_value(op.rhs) == 0:
+            return op.lhs
+        if constant_value(op.lhs) == 0:
+            return op.rhs
+    elif isinstance(op, DelayOp):
+        if op.delay == 0:
+            return op.value
+    return None
+
+
+class CanonicalizePass(Pass):
+    """Apply local simplifications, unique constants, and run DCE."""
+
+    name = "canonicalize"
+
+    def run(self, module: Operation) -> None:
+        for func in functions_in(module):
+            self._simplify_ops(func)
+            self._unique_constants(func)
+            self._dead_code_elimination(func)
+
+    # -- rewrites --------------------------------------------------------------
+    def _simplify_ops(self, func) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for op in list(func.walk()):
+                if op.parent_block is None or not op.results:
+                    continue
+                replacement = _simplify(op)
+                if replacement is None:
+                    continue
+                op.results[0].replace_all_uses_with(replacement)
+                op.erase()
+                self.record("ops-simplified")
+                changed = True
+
+    def _unique_constants(self, func) -> None:
+        """Merge hir.constant ops with identical value and type per block scope."""
+        seen: Dict[Tuple[int, str], ConstantOp] = {}
+        # Only constants in the function's top-level block are safe to merge
+        # into from anywhere (they dominate every nested region).
+        for op in list(func.body.operations):
+            if not isinstance(op, ConstantOp):
+                continue
+            key = (op.value, str(op.results[0].type))
+            existing = seen.get(key)
+            if existing is None:
+                seen[key] = op
+                continue
+            op.results[0].replace_all_uses_with(existing.results[0])
+            op.erase()
+            self.record("constants-merged")
+        # Constants nested inside loops with a top-level equivalent are folded up.
+        for op in list(func.walk()):
+            if not isinstance(op, ConstantOp) or op.parent_block is func.body:
+                continue
+            key = (op.value, str(op.results[0].type))
+            existing = seen.get(key)
+            if existing is not None:
+                op.results[0].replace_all_uses_with(existing.results[0])
+                op.erase()
+                self.record("constants-merged")
+
+    def _dead_code_elimination(self, func) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for op in list(func.walk()):
+                if op.parent_block is None:
+                    continue
+                if not getattr(op, "PURE", False) and not isinstance(op, DelayOp):
+                    continue
+                if any(result.has_uses for result in op.results):
+                    continue
+                op.erase()
+                self.record("dead-ops-removed")
+                changed = True

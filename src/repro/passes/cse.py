@@ -1,0 +1,67 @@
+"""Common sub-expression elimination (Section 6.2).
+
+Two identical pure operations with the same operands produce the same wires;
+instantiating them twice wastes LUTs.  The pass walks regions with a scoped
+hash table (an op in an enclosing region dominates everything nested inside
+it, so nested duplicates can reuse the outer result — the reverse is not
+true).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ir.block import Block
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import Pass
+from repro.hir.ops import FuncOp
+from repro.passes.common import functions_in
+
+#: Hashable signature of an operation for CSE purposes.
+Signature = Tuple
+
+
+def _signature(op: Operation) -> Signature:
+    operand_ids = tuple(id(operand) for operand in op.operands)
+    if getattr(op, "COMMUTATIVE", False):
+        operand_ids = tuple(sorted(operand_ids))
+    attributes = tuple(sorted((k, str(v)) for k, v in op.attributes.items()))
+    result_types = tuple(str(r.type) for r in op.results)
+    return (op.name, operand_ids, attributes, result_types)
+
+
+class CSEPass(Pass):
+    """Eliminate duplicate pure operations."""
+
+    name = "cse"
+
+    def run(self, module: Operation) -> None:
+        for func in functions_in(module):
+            self._run_on_block(func.body, [])
+
+    def _run_on_block(self, block: Block, scopes: List[Dict[Signature, Operation]]) -> None:
+        scopes = scopes + [{}]
+        for op in list(block.operations):
+            if op.parent_block is None:
+                continue
+            if getattr(op, "PURE", False) and op.results:
+                signature = _signature(op)
+                existing = self._lookup(scopes, signature)
+                if existing is not None:
+                    for old, new in zip(op.results, existing.results):
+                        old.replace_all_uses_with(new)
+                    op.erase()
+                    self.record("ops-eliminated")
+                    continue
+                scopes[-1][signature] = op
+            for region in op.regions:
+                for nested in region.blocks:
+                    self._run_on_block(nested, scopes)
+
+    @staticmethod
+    def _lookup(scopes: List[Dict[Signature, Operation]],
+                signature: Signature) -> Operation | None:
+        for scope in reversed(scopes):
+            if signature in scope:
+                return scope[signature]
+        return None

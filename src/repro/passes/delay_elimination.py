@@ -1,0 +1,70 @@
+"""Delay elimination and shift-register sharing (Section 6.4).
+
+Each ``hir.delay`` lowers to a shift register.  Two delays of the same value
+scheduled against the same time variable can share one register chain, and a
+delay of a compile-time constant needs no hardware at all.  The pass
+
+* replaces delays of constants with the constant itself,
+* de-duplicates identical delays (same input, same time variable, same
+  offset, same amount), and
+* records, for the code generator, which delays belong to the same sharing
+  group (same input and time variable) so it can build one chain with
+  multiple taps instead of independent chains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import Pass
+from repro.hir.ops import DelayOp, constant_value
+from repro.passes.common import functions_in
+
+GroupKey = Tuple[int, int, int]
+
+
+class DelayEliminationPass(Pass):
+    """Remove redundant ``hir.delay`` operations and share shift registers."""
+
+    name = "delay-elimination"
+
+    def run(self, module: Operation) -> None:
+        for func in functions_in(module):
+            self._run_on_function(func)
+
+    def _run_on_function(self, func) -> None:
+        groups: Dict[GroupKey, List[DelayOp]] = {}
+        for op in list(func.walk()):
+            if not isinstance(op, DelayOp) or op.parent_block is None:
+                continue
+            if constant_value(op.value) is not None:
+                # Constants are valid at every cycle; the delay is a no-op.
+                op.results[0].replace_all_uses_with(op.value)
+                op.erase()
+                self.record("constant-delays-removed")
+                continue
+            key = (id(op.value), id(op.time_operand), op.offset)
+            groups.setdefault(key, []).append(op)
+
+        for delays in groups.values():
+            delays.sort(key=lambda op: op.delay)
+            by_amount: Dict[int, DelayOp] = {}
+            for op in delays:
+                existing = by_amount.get(op.delay)
+                if existing is None:
+                    by_amount[op.delay] = op
+                    continue
+                op.results[0].replace_all_uses_with(existing.results[0])
+                op.erase()
+                self.record("duplicate-delays-removed")
+            if len(by_amount) > 1:
+                # Mark every member of the sharing group so the Verilog
+                # backend builds a single tapped chain (the registers saved
+                # equal the sum of all but the deepest chain).
+                survivors = sorted(by_amount.values(), key=lambda op: op.delay)
+                group_id = id(survivors[-1])
+                for op in survivors:
+                    op.set_attr("share_group", group_id)
+                saved = sum(op.delay for op in survivors[:-1])
+                self.record("registers-shared", saved)

@@ -1,0 +1,64 @@
+"""Memory-port optimization (Section 2, "Ease of optimization").
+
+If a tensor is allocated with separate read and write ports (a simple
+dual-port RAM) but the explicit schedule shows reads and writes never happen
+in the same cycle, a single-port RAM suffices and saves resources.  HDLs make
+this optimization hard because the schedule is hidden inside the controller;
+in HIR it is a direct consequence of the schedule analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import Pass
+from repro.ir.values import Value
+from repro.hir.ops import AllocOp, FuncOp, MemReadOp, MemWriteOp
+from repro.hir.schedule import ScheduleAnalysis, TimeStamp
+from repro.passes.common import functions_in
+
+
+class MemPortOptimizationPass(Pass):
+    """Mark dual-port allocations whose ports are never active simultaneously."""
+
+    name = "memport-optimization"
+
+    def run(self, module: Operation) -> None:
+        for func in functions_in(module):
+            self._run_on_function(func)
+
+    def _run_on_function(self, func: FuncOp) -> None:
+        info = ScheduleAnalysis(func).run()
+        for op in func.walk():
+            if not isinstance(op, AllocOp) or len(op.results) < 2:
+                continue
+            if self._ports_never_overlap(func, op, info):
+                op.set_attr("single_port", True)
+                self.record("allocations-made-single-port")
+
+    def _ports_never_overlap(self, func: FuncOp, alloc: AllocOp, info) -> bool:
+        schedules: List[Set[Tuple[int, int]]] = []
+        for port in alloc.results:
+            offsets = self._port_schedule(func, port, info)
+            if offsets is None:
+                return False
+            schedules.append(offsets)
+        combined: Set[Tuple[int, int]] = set()
+        for offsets in schedules:
+            if combined & offsets:
+                return False
+            combined |= offsets
+        return True
+
+    @staticmethod
+    def _port_schedule(func: FuncOp, port: Value, info) -> Optional[Set[Tuple[int, int]]]:
+        """Static (time-root, offset) pairs at which ``port`` is accessed."""
+        offsets: Set[Tuple[int, int]] = set()
+        for op in func.walk():
+            if isinstance(op, (MemReadOp, MemWriteOp)) and op.memref is port:
+                start: Optional[TimeStamp] = info.start_of(op)
+                if start is None:
+                    return None
+                offsets.add((id(start.root), start.offset))
+        return offsets

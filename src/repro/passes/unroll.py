@@ -1,0 +1,121 @@
+"""Lowering of ``hir.unroll_for`` by full replication (Section 7.3).
+
+Unrolling replicates the loop body in hardware: iteration ``k`` gets its own
+copy of every operation, with the induction variable replaced by the constant
+``lb + k*step`` and the iteration start time folded into each operation's
+scheduling offset (iteration ``k`` starts ``k * II`` cycles after the loop,
+where ``II`` is the offset of the loop's ``hir.yield`` — 0 for fully parallel
+loops such as Listing 4).
+
+The code generator runs this lowering before translating to Verilog; it is
+also exposed as a pass so tests and ablations can apply it in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.errors import LoweringError
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import Pass
+from repro.ir.values import Value
+from repro.hir.ops import ConstantOp, UnrollForOp, YieldOp
+from repro.hir.types import CONST
+from repro.passes.common import functions_in
+
+
+class LoopUnrollPass(Pass):
+    """Replace every ``hir.unroll_for`` with fully replicated bodies."""
+
+    name = "loop-unroll"
+
+    def run(self, module: Operation) -> None:
+        for func in functions_in(module):
+            # Repeat until no unroll_for remains (they may be nested).
+            while self._unroll_one(func):
+                self.record("loops-unrolled")
+
+    def _unroll_one(self, func) -> bool:
+        for op in func.walk():
+            if isinstance(op, UnrollForOp) and op.parent_block is not None:
+                self._unroll(op)
+                return True
+        return False
+
+    def _unroll(self, op: UnrollForOp) -> None:
+        block = op.parent_block
+        assert block is not None
+        yield_op = op.yield_op()
+        interval = yield_op.offset if yield_op is not None else 0
+        base_offset = op.offset
+        insert_index = block.index_of(op)
+
+        iterations = op.iterations()
+        last_offset = base_offset
+        for k, iv_value in enumerate(iterations):
+            iteration_offset = base_offset + k * interval
+            last_offset = iteration_offset
+            constant = ConstantOp(iv_value, CONST, location=op.location)
+            constant.results[0].name_hint = f"{op.induction_var.name_hint or 'u'}{iv_value}"
+            block.insert(insert_index, constant)
+            insert_index += 1
+            value_map: Dict[Value, Value] = {
+                op.induction_var: constant.results[0],
+                op.iter_time: op.time_operand,
+            }
+            for body_op in op.body.operations:
+                if isinstance(body_op, YieldOp):
+                    continue
+                clone = body_op.clone(value_map)
+                self._shift_schedule(clone, op, iteration_offset)
+                block.insert(insert_index, clone)
+                insert_index += 1
+
+        # The loop's completion time: every unrolled op is now scheduled
+        # relative to the parent time variable, so the done-time result simply
+        # aliases it at the final iteration's offset.  Uses of the done time
+        # become uses of the parent time variable; downstream offsets keep
+        # their meaning because the final offset is folded into them.
+        done = op.results[0]
+        for use in list(done.uses):
+            user = use.operation
+            user.set_operand(use.operand_index, op.time_operand)
+            current = user.get_attr("offset")
+            extra = last_offset + interval
+            if current is not None:
+                user.set_attr("offset", current.value + extra)  # type: ignore[union-attr]
+            else:
+                user.set_attr("offset", extra)
+        op.erase()
+
+    @staticmethod
+    def _shift_schedule(op: Operation, loop: UnrollForOp, extra_offset: int) -> None:
+        """Fold the unrolled iteration's start offset into cloned operations.
+
+        Any cloned operation (at any nesting depth) whose time operand was the
+        loop's iteration time now refers to the loop's own time operand; its
+        scheduling offset must grow by the iteration's start offset.
+        """
+        if extra_offset == 0:
+            return
+        for nested in op.walk():
+            uses_parent_time = any(
+                operand is loop.time_operand for operand in nested.operands
+            )
+            if not uses_parent_time:
+                continue
+            if nested.has_attr("offset") or _is_scheduled(nested):
+                current = nested.get_attr("offset")
+                base = current.value if current is not None else 0  # type: ignore[union-attr]
+                nested.set_attr("offset", base + extra_offset)
+
+
+def _is_scheduled(op: Operation) -> bool:
+    from repro.hir.ops import HIROperation
+
+    return isinstance(op, HIROperation) and op.has_time_operand
+
+
+def unroll_all(module: Operation) -> None:
+    """Convenience wrapper used by the code generator."""
+    LoopUnrollPass().run(module)

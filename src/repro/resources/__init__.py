@@ -1,0 +1,20 @@
+"""FPGA resource model: LUT / FF / DSP / BRAM estimation of generated Verilog."""
+
+from repro.resources.model import (
+    BRAM_THRESHOLD_BITS,
+    BRAM_TILE_BITS,
+    ResourceModel,
+    ResourceReport,
+    estimate_resources,
+)
+from repro.resources.report import format_comparison, format_table
+
+__all__ = [
+    "BRAM_THRESHOLD_BITS",
+    "BRAM_TILE_BITS",
+    "ResourceModel",
+    "ResourceReport",
+    "estimate_resources",
+    "format_comparison",
+    "format_table",
+]

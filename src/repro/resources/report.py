@@ -1,0 +1,44 @@
+"""Utilization report formatting (Vivado-style tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.resources.model import ResourceReport
+
+COLUMNS = ("LUT", "FF", "DSP", "BRAM")
+
+
+def format_table(rows: Dict[str, ResourceReport], title: str = "") -> str:
+    """Render ``{design name: report}`` as an aligned text table."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    name_width = max([len("Design")] + [len(name) for name in rows])
+    header = f"{'Design':<{name_width}}  " + "  ".join(f"{c:>6}" for c in COLUMNS)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, report in rows.items():
+        values = report.as_dict()
+        lines.append(
+            f"{name:<{name_width}}  " + "  ".join(f"{values[c]:>6}" for c in COLUMNS)
+        )
+    return "\n".join(lines)
+
+
+def format_comparison(rows: Sequence[Sequence[str]], headers: Sequence[str],
+                      title: str = "") -> str:
+    """Render a generic comparison table (used by the evaluation harness)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(f"{h:>{w}}" for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(f"{str(c):>{w}}" for c, w in zip(row, widths)))
+    return "\n".join(lines)

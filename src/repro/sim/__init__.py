@@ -1,0 +1,25 @@
+"""Cycle-accurate simulation of generated designs (RTL-simulation substitute)."""
+
+from repro.sim.testbench import (
+    InterfaceMemory,
+    SimulationRun,
+    flatten_tensor,
+    run_design,
+    unflatten_tensor,
+)
+from repro.sim.verilog_sim import (
+    ExternalModel,
+    PipelinedMultiplierModel,
+    Simulator,
+)
+
+__all__ = [
+    "InterfaceMemory",
+    "SimulationRun",
+    "flatten_tensor",
+    "run_design",
+    "unflatten_tensor",
+    "ExternalModel",
+    "PipelinedMultiplierModel",
+    "Simulator",
+]

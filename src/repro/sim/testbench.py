@@ -1,0 +1,167 @@
+"""Testbench helpers: drive a generated design and model external memories.
+
+A generated HIR module exposes each memref argument as an address/enable/data
+interface (Section 4.6).  :class:`InterfaceMemory` models the external RAM
+behind such an interface with single-cycle read latency, and
+:func:`run_design` drives the whole design from ``start`` to ``done`` — the
+reproduction's stand-in for RTL simulation of the synthesized accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ir.errors import SimulationError
+from repro.hir.types import MemrefType
+from repro.sim.verilog_sim import ExternalModel, Simulator
+from repro.verilog.ast import Design
+
+
+def flatten_tensor(memref_type: MemrefType, data) -> List[int]:
+    """Row-major flatten of ``data`` (nested lists or numpy) to ints."""
+    array = np.asarray(data, dtype=np.int64)
+    expected = tuple(memref_type.shape)
+    if array.shape != expected:
+        raise SimulationError(
+            f"tensor shape {array.shape} does not match memref shape {expected}"
+        )
+    return [int(v) for v in array.reshape(-1)]
+
+
+def unflatten_tensor(memref_type: MemrefType, data: Sequence[int]) -> np.ndarray:
+    width = memref_type.element_type.bitwidth or 32
+    array = np.array(list(data), dtype=np.int64).reshape(memref_type.shape)
+    # Interpret stored bit patterns as signed two's complement.
+    sign_bit = 1 << (width - 1)
+    array = np.where(array >= sign_bit, array - (1 << width), array)
+    return array
+
+
+class InterfaceMemory:
+    """External RAM behind one memref interface of the top module."""
+
+    def __init__(self, prefix: str, memref_type: MemrefType,
+                 initial=None) -> None:
+        self.prefix = prefix
+        self.memref_type = memref_type
+        depth = memref_type.num_elements
+        if initial is None:
+            self.data: List[int] = [0] * depth
+        else:
+            self.data = flatten_tensor(memref_type, initial)
+        width = memref_type.element_type.bitwidth or 32
+        self._mask = (1 << width) - 1
+        self.data = [value & self._mask for value in self.data]
+        self._pending_read: Optional[int] = None
+        self._pending_write: Optional[tuple] = None
+        self.reads = 0
+        self.writes = 0
+
+    # -- per-cycle protocol -----------------------------------------------------
+    def sample(self, sim: Simulator) -> None:
+        """Sample the interface outputs after combinational settle."""
+        self._pending_read = None
+        self._pending_write = None
+        address = self._get(sim, f"{self.prefix}_addr")
+        if self.memref_type.can_read and self._get(sim, f"{self.prefix}_rd_en"):
+            self._pending_read = address
+            self.reads += 1
+        if self.memref_type.can_write and self._get(sim, f"{self.prefix}_wr_en"):
+            self._pending_write = (address, self._get(sim, f"{self.prefix}_wr_data"))
+            self.writes += 1
+
+    def commit(self, sim: Simulator) -> None:
+        """Apply the sampled access at the clock edge (read-before-write)."""
+        if self._pending_read is not None and self.memref_type.can_read:
+            value = 0
+            if 0 <= self._pending_read < len(self.data):
+                value = self.data[self._pending_read]
+            sim.set(f"{self.prefix}_rd_data", value)
+        if self._pending_write is not None:
+            address, data = self._pending_write
+            if 0 <= address < len(self.data):
+                self.data[address] = data & self._mask
+
+    @staticmethod
+    def _get(sim: Simulator, name: str) -> int:
+        try:
+            return sim.get(name)
+        except SimulationError:
+            return 0
+
+    # -- results -------------------------------------------------------------------
+    def as_array(self) -> np.ndarray:
+        return unflatten_tensor(self.memref_type, self.data)
+
+
+@dataclass
+class SimulationRun:
+    """Outcome of :func:`run_design`."""
+
+    cycles: int
+    done: bool
+    results: Dict[str, int] = field(default_factory=dict)
+    memories: Dict[str, InterfaceMemory] = field(default_factory=dict)
+    simulator: Optional[Simulator] = None
+
+    def memory_array(self, name: str) -> np.ndarray:
+        return self.memories[name].as_array()
+
+
+def run_design(
+    design: Design,
+    memories: Optional[Dict[str, tuple]] = None,
+    scalar_inputs: Optional[Dict[str, int]] = None,
+    top: Optional[str] = None,
+    external_models: Optional[Dict[str, Callable[[], ExternalModel]]] = None,
+    max_cycles: int = 100000,
+    drain_cycles: int = 4,
+) -> SimulationRun:
+    """Run a generated design from ``start`` until its ``done`` pulse.
+
+    ``memories`` maps each memref argument name to ``(MemrefType, initial
+    data)``; ``scalar_inputs`` provides values for primitive arguments.
+    """
+    simulator = Simulator(design, top=top, external_models=external_models)
+    interface_memories: Dict[str, InterfaceMemory] = {}
+    for name, (memref_type, initial) in (memories or {}).items():
+        interface_memories[name] = InterfaceMemory(name, memref_type, initial)
+
+    for name, value in (scalar_inputs or {}).items():
+        simulator.set(name, value)
+
+    done_seen = False
+    done_cycle = 0
+    results: Dict[str, int] = {}
+    remaining_drain = drain_cycles
+
+    for cycle in range(max_cycles):
+        simulator.set("start", 1 if cycle == 0 else 0)
+        simulator.eval_comb()
+        for memory in interface_memories.values():
+            memory.sample(simulator)
+        if not done_seen and simulator.get("done"):
+            done_seen = True
+            done_cycle = cycle
+            for name in simulator.flat.outputs:
+                if name.startswith("result"):
+                    results[name] = simulator.get(name)
+        simulator.clock_edge()
+        for memory in interface_memories.values():
+            memory.commit(simulator)
+        if done_seen:
+            # Let writes scheduled after the done pulse drain for a few cycles.
+            if remaining_drain == 0:
+                break
+            remaining_drain -= 1
+
+    return SimulationRun(
+        cycles=done_cycle + 1 if done_seen else max_cycles,
+        done=done_seen,
+        results=results,
+        memories=interface_memories,
+        simulator=simulator,
+    )

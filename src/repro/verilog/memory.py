@@ -1,0 +1,327 @@
+"""Lowering of memrefs to registers, banked RAMs and memory interfaces.
+
+Table 3: the ``hir.memref`` type maps to block RAMs, distributed RAMs or
+registers.  Three cases are handled here:
+
+* **Function-argument memrefs** become a memory *interface* on the generated
+  module: address / enable / data buses, exactly as described in Section 4.6.
+  The accesses scheduled on the port share the buses through pulse-driven
+  multiplexers.
+* **Locally allocated memrefs** (``hir.alloc``) become storage inside the
+  module: one buffer per bank (Figure 3).  Fully distributed memrefs (empty
+  packing) become one register per element with combinational reads; packed
+  memrefs become RAM banks with one-cycle read latency.
+* **Delegated memrefs** — a memref passed to an ``hir.call`` — are wired
+  through to the callee instance, which drives the buses instead of local
+  multiplexers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir.errors import LoweringError
+from repro.ir.values import Value
+from repro.hir.ops import AllocOp
+from repro.hir.types import MemrefType
+from repro.verilog.ast import (
+    BinOp,
+    Const,
+    Expr,
+    If,
+    INPUT,
+    MemIndex,
+    MemWrite,
+    Module,
+    NonBlockingAssign,
+    OUTPUT,
+    Ref,
+    Ternary,
+    or_reduce,
+)
+from repro.verilog.naming import SignalNamer
+
+
+@dataclass
+class MemAccess:
+    """One scheduled read or write through a memref port."""
+
+    kind: str                      # "r" or "w"
+    pulse: str                     # enable pulse signal name
+    bank: int                      # which bank the access targets
+    address: Expr                  # bank-local address expression
+    data: Optional[Expr] = None    # written data (writes only)
+    result_signal: Optional[str] = None  # wire to drive with read data (reads only)
+
+
+@dataclass
+class _PortInfo:
+    memref: Value
+    memref_type: MemrefType
+    accesses: List[MemAccess] = field(default_factory=list)
+    delegation_prefix: Optional[str] = None
+    #: For function-argument memrefs: the interface bus prefix (the arg name).
+    interface_prefix: Optional[str] = None
+
+
+def interface_signals(prefix: str, memref_type: MemrefType) -> Dict[str, int]:
+    """Bus names and widths of a memref interface with the given prefix."""
+    element_width = max(1, memref_type.element_type.bitwidth)
+    address_width = max(1, _full_address_width(memref_type))
+    signals: Dict[str, int] = {f"{prefix}_addr": address_width}
+    if memref_type.can_read:
+        signals[f"{prefix}_rd_en"] = 1
+        signals[f"{prefix}_rd_data"] = element_width
+    if memref_type.can_write:
+        signals[f"{prefix}_wr_en"] = 1
+        signals[f"{prefix}_wr_data"] = element_width
+    return signals
+
+
+def interface_directions(prefix: str, memref_type: MemrefType) -> Dict[str, str]:
+    """Port direction (from the accessing module's point of view) per bus."""
+    directions = {f"{prefix}_addr": OUTPUT}
+    if memref_type.can_read:
+        directions[f"{prefix}_rd_en"] = OUTPUT
+        directions[f"{prefix}_rd_data"] = INPUT
+    if memref_type.can_write:
+        directions[f"{prefix}_wr_en"] = OUTPUT
+        directions[f"{prefix}_wr_data"] = OUTPUT
+    return directions
+
+
+def _full_address_width(memref_type: MemrefType) -> int:
+    total = memref_type.num_elements
+    if total <= 1:
+        return 1
+    return (total - 1).bit_length()
+
+
+class MemoryLowering:
+    """Collects memref accesses during op lowering, then emits the hardware."""
+
+    def __init__(self, module: Module, namer: SignalNamer) -> None:
+        self.module = module
+        self.namer = namer
+        self._ports: Dict[int, _PortInfo] = {}
+
+    # -- registration ---------------------------------------------------------
+    def _port_info(self, memref: Value) -> _PortInfo:
+        info = self._ports.get(id(memref))
+        if info is None:
+            memref_type = memref.type
+            if not isinstance(memref_type, MemrefType):
+                raise LoweringError("expected a memref-typed value")
+            info = _PortInfo(memref, memref_type)
+            self._ports[id(memref)] = info
+        return info
+
+    def register_interface(self, memref: Value, prefix: str) -> None:
+        """Mark ``memref`` as a function-argument interface with bus prefix."""
+        self._port_info(memref).interface_prefix = prefix
+
+    def add_access(self, memref: Value, access: MemAccess) -> None:
+        self._port_info(memref).accesses.append(access)
+
+    def add_delegation(self, memref: Value, instance_prefix: str) -> None:
+        """``memref`` is passed to a callee instance; its buses use this prefix."""
+        info = self._port_info(memref)
+        if info.delegation_prefix is not None:
+            raise LoweringError(
+                "a memref port may be passed to at most one hir.call"
+            )
+        info.delegation_prefix = instance_prefix
+
+    # -- finalization ----------------------------------------------------------
+    def finalize(self) -> None:
+        """Emit interface muxes, RAM banks and register files."""
+        alloc_groups: Dict[int, List[_PortInfo]] = {}
+        for info in self._ports.values():
+            owner = getattr(info.memref, "operation", None)
+            if isinstance(owner, AllocOp):
+                alloc_groups.setdefault(id(owner), []).append(info)
+            elif info.interface_prefix is not None:
+                self._finalize_interface(info)
+            else:
+                raise LoweringError(
+                    f"memref %{info.memref.display_name()} is neither a function "
+                    "argument nor produced by hir.alloc"
+                )
+        for infos in alloc_groups.values():
+            owner = infos[0].memref.operation  # type: ignore[attr-defined]
+            self._finalize_alloc(owner, infos)
+
+    # -- function-argument interfaces ---------------------------------------------
+    def _finalize_interface(self, info: _PortInfo) -> None:
+        prefix = info.interface_prefix
+        assert prefix is not None
+        memref_type = info.memref_type
+        if info.delegation_prefix is not None:
+            if info.accesses:
+                raise LoweringError(
+                    f"memref %{info.memref.display_name()} is both accessed "
+                    "directly and passed to a call; use separate ports"
+                )
+            self._pass_through(prefix, info.delegation_prefix, memref_type)
+            return
+        self.module.add_comment(f"memory interface for argument '{prefix}'")
+        reads = [a for a in info.accesses if a.kind == "r"]
+        writes = [a for a in info.accesses if a.kind == "w"]
+        address_mux = _mux([(a.pulse, a.address) for a in info.accesses])
+        self.module.add_assign(f"{prefix}_addr", address_mux)
+        if memref_type.can_read:
+            self.module.add_assign(
+                f"{prefix}_rd_en", or_reduce([Ref(a.pulse) for a in reads])
+            )
+            for access in reads:
+                if access.result_signal:
+                    self.module.add_assign(access.result_signal, Ref(f"{prefix}_rd_data"))
+        if memref_type.can_write:
+            self.module.add_assign(
+                f"{prefix}_wr_en", or_reduce([Ref(a.pulse) for a in writes])
+            )
+            data_mux = _mux([(a.pulse, a.data) for a in writes if a.data is not None])
+            self.module.add_assign(f"{prefix}_wr_data", data_mux)
+
+    def _pass_through(self, outer_prefix: str, inner_prefix: str,
+                      memref_type: MemrefType) -> None:
+        """Wire a callee instance's memory buses straight to this module's ports."""
+        self.module.add_comment(
+            f"memref argument '{outer_prefix}' is forwarded to callee "
+            f"'{inner_prefix}'"
+        )
+        self.module.add_assign(f"{outer_prefix}_addr", Ref(f"{inner_prefix}_addr"))
+        if memref_type.can_read:
+            self.module.add_assign(f"{outer_prefix}_rd_en", Ref(f"{inner_prefix}_rd_en"))
+            self.module.add_assign(f"{inner_prefix}_rd_data", Ref(f"{outer_prefix}_rd_data"))
+        if memref_type.can_write:
+            self.module.add_assign(f"{outer_prefix}_wr_en", Ref(f"{inner_prefix}_wr_en"))
+            self.module.add_assign(f"{outer_prefix}_wr_data", Ref(f"{inner_prefix}_wr_data"))
+
+    # -- locally allocated storage ----------------------------------------------------
+    def _finalize_alloc(self, alloc: AllocOp, infos: List[_PortInfo]) -> None:
+        tensor = alloc.tensor_type
+        element_width = max(1, tensor.element_type.bitwidth)
+        depth = tensor.elements_per_bank
+        banks = tensor.num_banks
+        base = self.namer.fresh(
+            infos[0].memref.name_hint or f"buf{id(alloc) % 1000}"
+        )
+        single_port = bool(alloc.get_attr("single_port"))
+        self.module.add_comment(
+            f"storage for hir.alloc '{base}': {banks} bank(s) x {depth} x "
+            f"{element_width} bits ({'registers' if depth == 1 else 'RAM'})"
+        )
+        if depth == 1:
+            self._emit_register_banks(base, element_width, banks, infos)
+        else:
+            self._emit_ram_banks(base, element_width, depth, banks, infos, alloc,
+                                 single_port)
+
+    def _emit_register_banks(self, base: str, width: int, banks: int,
+                             infos: List[_PortInfo]) -> None:
+        bank_regs = []
+        for bank in range(banks):
+            name = f"{base}_b{bank}"
+            self.module.add_reg(name, width)
+            bank_regs.append(name)
+        clocked = self.module.add_always()
+        for info in infos:
+            if info.delegation_prefix is not None:
+                raise LoweringError(
+                    "register-implemented memrefs cannot be passed to hir.call"
+                )
+            for access in info.accesses:
+                target = bank_regs[access.bank]
+                if access.kind == "w":
+                    assert access.data is not None
+                    clocked.body.append(
+                        If(Ref(access.pulse),
+                           [NonBlockingAssign(target, access.data)])
+                    )
+                elif access.result_signal:
+                    # Combinational read: zero-cycle latency.
+                    self.module.add_assign(access.result_signal, Ref(target))
+
+    def _emit_ram_banks(self, base: str, width: int, depth: int, banks: int,
+                        infos: List[_PortInfo], alloc: AllocOp,
+                        single_port: bool) -> None:
+        mem_kind = alloc.mem_kind
+        bank_names = []
+        for bank in range(banks):
+            name = f"{base}_b{bank}"
+            self.module.add_memory(name, width, depth, kind=mem_kind,
+                                   single_port=single_port)
+            bank_names.append(name)
+        clocked = self.module.add_always()
+        for port_index, info in enumerate(infos):
+            if info.delegation_prefix is not None:
+                self._delegated_ram_port(bank_names[0], info, clocked, banks)
+                continue
+            for bank in range(banks):
+                bank_accesses = [a for a in info.accesses if a.bank == bank]
+                if not bank_accesses:
+                    continue
+                writes = [a for a in bank_accesses if a.kind == "w"]
+                reads = [a for a in bank_accesses if a.kind == "r"]
+                if writes:
+                    write_enable = or_reduce([Ref(a.pulse) for a in writes])
+                    address = _mux([(a.pulse, a.address) for a in writes])
+                    data = _mux([(a.pulse, a.data) for a in writes])
+                    clocked.body.append(
+                        If(write_enable,
+                           [MemWrite(bank_names[bank], address, data)])
+                    )
+                if reads:
+                    read_enable = or_reduce([Ref(a.pulse) for a in reads])
+                    address = _mux([(a.pulse, a.address) for a in reads])
+                    rdata = self.namer.fresh(f"{base}_p{port_index}_b{bank}_rdata")
+                    self.module.add_reg(rdata, width)
+                    clocked.body.append(
+                        If(read_enable,
+                           [NonBlockingAssign(rdata,
+                                              MemIndex(bank_names[bank], address))])
+                    )
+                    for access in reads:
+                        if access.result_signal:
+                            self.module.add_assign(access.result_signal, Ref(rdata))
+
+    def _delegated_ram_port(self, bank_name: str, info: _PortInfo,
+                            clocked, banks: int) -> None:
+        """A callee instance drives this port's buses."""
+        if banks != 1:
+            raise LoweringError(
+                "a banked memref cannot be passed to hir.call; pass one bank "
+                "per call or use a packed memref"
+            )
+        prefix = info.delegation_prefix
+        assert prefix is not None
+        memref_type = info.memref_type
+        if memref_type.can_write:
+            clocked.body.append(
+                If(Ref(f"{prefix}_wr_en"),
+                   [MemWrite(bank_name, Ref(f"{prefix}_addr"),
+                             Ref(f"{prefix}_wr_data"))])
+            )
+        if memref_type.can_read:
+            rdata = self.namer.fresh(f"{prefix}_rdata_reg")
+            width = max(1, memref_type.element_type.bitwidth)
+            self.module.add_reg(rdata, width)
+            clocked.body.append(
+                If(Ref(f"{prefix}_rd_en"),
+                   [NonBlockingAssign(rdata,
+                                      MemIndex(bank_name, Ref(f"{prefix}_addr")))])
+            )
+            self.module.add_assign(f"{prefix}_rd_data", Ref(rdata))
+
+
+def _mux(cases: List) -> Expr:
+    """Pulse-driven priority multiplexer; 0 when no pulse is active."""
+    cases = [(pulse, expr) for pulse, expr in cases if expr is not None]
+    if not cases:
+        return Const(0, 1)
+    result: Expr = cases[-1][1]
+    for pulse, expr in reversed(cases[:-1]):
+        result = Ternary(Ref(pulse), expr, result)
+    return result

@@ -1,0 +1,62 @@
+"""Deterministic, collision-free Verilog signal naming."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional
+
+from repro.ir.values import Value
+
+_SANITIZE_RE = re.compile(r"[^A-Za-z0-9_]")
+_KEYWORDS = {
+    "module", "endmodule", "input", "output", "wire", "reg", "assign",
+    "always", "begin", "end", "if", "else", "case", "endcase", "posedge",
+    "negedge", "parameter", "localparam", "signed", "integer", "for",
+}
+
+
+def sanitize(name: str) -> str:
+    """Make ``name`` a legal Verilog identifier."""
+    cleaned = _SANITIZE_RE.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "v_" + cleaned
+    if cleaned in _KEYWORDS:
+        cleaned += "_sig"
+    return cleaned
+
+
+class SignalNamer:
+    """Hands out unique signal names, honouring SSA name hints."""
+
+    def __init__(self) -> None:
+        self._used: set[str] = set()
+        self._value_names: Dict[int, str] = {}
+        self._counter = 0
+
+    def reserve(self, name: str) -> str:
+        """Claim an exact name (ports, clk/rst); collisions get a suffix."""
+        unique = self.fresh(name)
+        return unique
+
+    def fresh(self, hint: Optional[str] = None) -> str:
+        base = sanitize(hint) if hint else None
+        if base is None:
+            base = f"sig{self._counter}"
+            self._counter += 1
+        candidate = base
+        suffix = 0
+        while candidate in self._used:
+            suffix += 1
+            candidate = f"{base}_{suffix}"
+        self._used.add(candidate)
+        return candidate
+
+    def for_value(self, value: Value, prefix: str = "") -> str:
+        """A stable name for an SSA value (same name on every request)."""
+        key = id(value)
+        if key in self._value_names:
+            return self._value_names[key]
+        hint = value.name_hint or None
+        name = self.fresh(f"{prefix}{hint}" if hint else (prefix or None))
+        self._value_names[key] = name
+        return name

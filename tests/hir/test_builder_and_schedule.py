@@ -1,0 +1,206 @@
+"""Tests for the Python design builder and the schedule analysis."""
+
+import pytest
+
+from repro.ir import verify
+from repro.ir.types import I8, I32
+from repro.hir import (
+    DesignBuilder,
+    MemrefType,
+    TimeStamp,
+    UNBOUNDED,
+    analyse,
+)
+from repro.hir.ops import ConstantOp, DelayOp, ForOp, MemReadOp, MemWriteOp
+
+
+def build_transpose(size=4):
+    design = DesignBuilder("d")
+    a = MemrefType((size, size), I32, port="r")
+    c = MemrefType((size, size), I32, port="w")
+    with design.func("transpose", [("Ai", a), ("Co", c)]) as f:
+        with f.for_loop(0, size, 1, time=f.time, iter_offset=1, iv_name="i") as i_loop:
+            with f.for_loop(0, size, 1, time=i_loop.time, iter_offset=1,
+                            iv_name="j") as j_loop:
+                v = f.mem_read(f.arg("Ai"), [i_loop.iv, j_loop.iv], time=j_loop.time)
+                jd = f.delay(j_loop.iv, 1, time=j_loop.time)
+                f.mem_write(v, f.arg("Co"), [jd, i_loop.iv], time=j_loop.time, offset=1)
+                f.yield_(j_loop.time, offset=1)
+            f.yield_(j_loop.done, offset=1)
+        f.return_()
+    return design
+
+
+class TestDesignBuilder:
+    def test_produces_verified_ir(self):
+        verify(build_transpose().module)
+
+    def test_constants_are_cached_and_hoisted(self):
+        design = DesignBuilder("d")
+        with design.func("f", []) as f:
+            with f.for_loop(0, 4, 1, time=f.time) as loop:
+                f.add(f.constant(3, I32), f.constant(3, I32))
+                f.yield_(loop.time, offset=1)
+            with f.for_loop(0, 4, 1, time=f.time, iv_name="k") as loop2:
+                f.add(f.constant(3, I32), loop2.iv)
+                f.yield_(loop2.time, offset=1)
+            f.return_()
+        verify(design.module)  # hoisted constants dominate both loops
+        func = design.module.lookup("f")
+        constants = [op for op in func.walk() if isinstance(op, ConstantOp)
+                     and op.results[0].type == I32 and op.value == 3]
+        assert len(constants) == 1
+
+    def test_arg_lookup(self):
+        design = build_transpose()
+        func = design.module.lookup("transpose")
+        assert func.arg_names == ("Ai", "Co")
+
+    def test_alloc_ports(self):
+        design = DesignBuilder("d")
+        with design.func("f", []) as f:
+            reader, writer = f.alloc((8,), I32, ports=("r", "w"), name="buf")
+            assert isinstance(reader.type, MemrefType) and reader.type.can_read
+            assert writer.type.can_write
+            f.return_()
+
+    def test_extern_func_declaration(self):
+        design = DesignBuilder("d")
+        ip = design.extern_func("mult_3stage", [I32, I32], [I32], result_delays=[3])
+        assert ip.is_external
+        assert design.module.lookup("mult_3stage") is ip
+
+    def test_call_unknown_callee(self):
+        design = DesignBuilder("d")
+        with design.func("f", [("x", I32)]) as f:
+            with pytest.raises(ValueError):
+                f.call("nope", [f.arg("x")], time=f.time)
+            f.return_()
+
+    def test_stable_args_flag(self):
+        design = DesignBuilder("d")
+        with design.func("f", [("x", I32), ("w", I32)], stable_args=("w",)) as f:
+            f.return_()
+        func = design.module.lookup("f")
+        assert func.stable_args == (False, True)
+
+    def test_iv_type_helper(self):
+        design = DesignBuilder("d")
+        with design.func("f", []) as f:
+            assert f.iv_type(15).width == 5
+            assert f.iv_type(16).width == 6
+            f.return_()
+
+
+class TestTimeStamp:
+    def test_advanced(self):
+        design = DesignBuilder("d")
+        with design.func("f", []) as f:
+            stamp = TimeStamp(f.time, 2)
+            assert stamp.advanced(3).offset == 5
+            assert stamp.advanced(3).root is f.time
+            f.return_()
+
+    def test_describe(self):
+        design = DesignBuilder("d")
+        with design.func("f", []) as f:
+            assert TimeStamp(f.time, 0).describe() == "%t"
+            assert "+" in TimeStamp(f.time, 4).describe()
+            f.return_()
+
+
+class TestScheduleAnalysis:
+    def test_transpose_schedule(self):
+        module = build_transpose().module
+        func = module.lookup("transpose")
+        info = analyse(func)
+        reads = [op for op in func.walk() if isinstance(op, MemReadOp)]
+        writes = [op for op in func.walk() if isinstance(op, MemWriteOp)]
+        inner = [op for op in func.walk() if isinstance(op, ForOp)][1]
+
+        # The read starts at %tj + 0 and its data is valid at %tj + 1.
+        assert info.start_of(reads[0]) == TimeStamp(inner.iter_time, 0)
+        assert info.time_of(reads[0].results[0]) == TimeStamp(inner.iter_time, 1)
+        # The write starts one cycle later.
+        assert info.start_of(writes[0]) == TimeStamp(inner.iter_time, 1)
+
+    def test_register_read_is_combinational(self):
+        design = DesignBuilder("d")
+        with design.func("f", []) as f:
+            reader, writer = f.alloc((2,), I32, ports=("r", "w"), packing=[])
+            f.mem_write(1, writer, [0], time=f.time)
+            value = f.mem_read(reader, [0], time=f.time, offset=1)
+            f.return_()
+        func = design.module.lookup("f")
+        info = analyse(func)
+        read = next(op for op in func.walk() if isinstance(op, MemReadOp))
+        assert info.time_of(read.results[0]).offset == 1  # latency 0
+
+    def test_delay_advances_validity(self):
+        design = DesignBuilder("d")
+        with design.func("f", [("x", I32)]) as f:
+            delayed = f.delay(f.arg("x"), 3, time=f.time)
+            f.return_()
+        func = design.module.lookup("f")
+        info = analyse(func)
+        delay = next(op for op in func.walk() if isinstance(op, DelayOp))
+        assert info.time_of(delay.results[0]) == TimeStamp(func.time_arg, 3)
+
+    def test_induction_var_window_matches_ii(self):
+        design = DesignBuilder("d")
+        with design.func("f", []) as f:
+            with f.for_loop(0, 4, 1, time=f.time) as loop:
+                f.yield_(loop.time, offset=3)
+            f.return_()
+        func = design.module.lookup("f")
+        info = analyse(func)
+        loop = next(op for op in func.walk() if isinstance(op, ForOp))
+        assert info.window_of(loop.induction_var) == 2
+
+    def test_stable_args_have_unbounded_window(self):
+        design = DesignBuilder("d")
+        with design.func("f", [("x", I32), ("w", I32)], stable_args=("w",)) as f:
+            f.return_()
+        func = design.module.lookup("f")
+        info = analyse(func)
+        assert info.window_of(func.arguments[1]) == UNBOUNDED
+        assert info.window_of(func.arguments[0]) == 0
+
+    def test_memrefs_and_constants_are_timeless(self):
+        module = build_transpose().module
+        func = module.lookup("transpose")
+        info = analyse(func)
+        assert info.is_timeless(func.arguments[0])
+        constant = next(op for op in func.walk() if isinstance(op, ConstantOp))
+        assert info.is_timeless(constant.results[0])
+
+    def test_is_valid_at_window(self):
+        design = DesignBuilder("d")
+        with design.func("f", []) as f:
+            with f.for_loop(0, 4, 1, time=f.time, iv_type=I8) as loop:
+                f.yield_(loop.time, offset=2)
+            f.return_()
+        func = design.module.lookup("f")
+        info = analyse(func)
+        loop = next(op for op in func.walk() if isinstance(op, ForOp))
+        iv = loop.induction_var
+        assert info.is_valid_at(iv, TimeStamp(loop.iter_time, 0))
+        assert info.is_valid_at(iv, TimeStamp(loop.iter_time, 1))
+        assert not info.is_valid_at(iv, TimeStamp(loop.iter_time, 2))
+        assert not info.is_valid_at(iv, TimeStamp(func.time_arg, 0))
+
+    def test_call_result_delay(self):
+        design = DesignBuilder("d")
+        design.extern_func("ip", [I32], [I32], result_delays=[4])
+        with design.func("f", [("x", I32)]) as f:
+            result = f.call("ip", [f.arg("x")], time=f.time, offset=1)[0]
+            f.return_()
+        func = design.module.lookup("f")
+        info = analyse(func)
+        assert info.time_of(result) == TimeStamp(func.time_arg, 5)
+
+    def test_external_function_analysis_is_empty(self):
+        design = DesignBuilder("d")
+        ip = design.extern_func("ip", [I32], [I32])
+        info = analyse(ip)
+        assert not info.op_start

@@ -1,0 +1,285 @@
+"""Tests for HIR operations (Table 2 inventory, accessors, op verifiers)."""
+
+import pytest
+
+from repro.ir import VerificationError, verify
+from repro.ir.types import I1, I32
+from repro.hir import (
+    COMPUTE_OPS,
+    CONTROL_FLOW_OPS,
+    MEMORY_OPS,
+    SCHEDULING_OPS,
+    DesignBuilder,
+    MemrefType,
+)
+from repro.hir.ops import (
+    AddOp,
+    AllocOp,
+    CallOp,
+    CmpOp,
+    ConstantOp,
+    DelayOp,
+    ForOp,
+    FuncOp,
+    MemReadOp,
+    MemWriteOp,
+    MultOp,
+    ReturnOp,
+    SelectOp,
+    UnrollForOp,
+    YieldOp,
+    constant_value,
+)
+from repro.hir.types import CONST, TIME
+
+
+class TestTable2Inventory:
+    """The dialect provides the op groups listed in Table 2 of the paper."""
+
+    def test_control_flow_ops(self):
+        names = {op.OPERATION_NAME for op in CONTROL_FLOW_OPS}
+        assert names == {"hir.func", "hir.for", "hir.unroll_for", "hir.return",
+                         "hir.yield"}
+
+    def test_compute_ops_include_add_and_mult(self):
+        names = {op.OPERATION_NAME for op in COMPUTE_OPS}
+        assert {"hir.add", "hir.mult", "hir.call"} <= names
+
+    def test_memory_ops(self):
+        names = {op.OPERATION_NAME for op in MEMORY_OPS}
+        assert names == {"hir.alloc", "hir.mem_read", "hir.mem_write"}
+
+    def test_scheduling_ops(self):
+        names = {op.OPERATION_NAME for op in SCHEDULING_OPS}
+        assert names == {"hir.constant", "hir.delay"}
+
+    def test_all_ops_have_unique_names(self):
+        all_ops = CONTROL_FLOW_OPS + COMPUTE_OPS + MEMORY_OPS + SCHEDULING_OPS
+        names = [op.OPERATION_NAME for op in all_ops]
+        assert len(names) == len(set(names))
+
+
+class TestFuncOp:
+    def test_signature_accessors(self):
+        func = FuncOp("mac", [I32, I32], [I32], arg_names=["a", "b"],
+                      result_delays=[3])
+        assert func.symbol_name == "mac"
+        assert func.arg_names == ("a", "b")
+        assert func.result_delays == (3,)
+        assert len(func.arguments) == 2
+        assert func.time_arg.type == TIME
+
+    def test_external_function_has_no_body(self):
+        func = FuncOp("ip", [I32], [I32], external=True)
+        assert func.is_external
+        assert func.arguments == []
+        verify_ok = True
+        try:
+            func.verify_op()
+        except VerificationError:
+            verify_ok = False
+        assert verify_ok
+
+    def test_stable_args_default_false(self):
+        func = FuncOp("f", [I32, I32], [])
+        assert func.stable_args == (False, False)
+
+    def test_mismatched_metadata_rejected(self):
+        with pytest.raises(ValueError):
+            FuncOp("f", [I32], [], arg_names=["a", "b"])
+        with pytest.raises(ValueError):
+            FuncOp("f", [I32], [], arg_delays=[0, 0])
+        with pytest.raises(ValueError):
+            FuncOp("f", [I32], [I32], result_delays=[0, 0])
+
+    def test_return_type_mismatch_detected(self):
+        func = FuncOp("f", [I32], [I32])
+        func.body.append(ReturnOp([]))
+        with pytest.raises(VerificationError):
+            verify(func)
+
+
+class TestLoops:
+    def _loop(self, with_yield=True, iv_type=I32):
+        design = DesignBuilder("d")
+        with design.func("f", [("x", I32)]) as f:
+            with f.for_loop(0, 10, 1, time=f.time, iv_type=iv_type) as loop:
+                if with_yield:
+                    f.yield_(loop.time, offset=1)
+            f.return_()
+        func = design.module.lookup("f")
+        return design.module, next(op for op in func.walk() if isinstance(op, ForOp))
+
+    def test_accessors(self):
+        _, loop = self._loop()
+        assert constant_value(loop.lower_bound) == 0
+        assert constant_value(loop.upper_bound) == 10
+        assert constant_value(loop.step) == 1
+        assert loop.induction_var.type == I32
+        assert loop.iter_time.type == TIME
+        assert loop.done_time.type == TIME
+
+    def test_initiation_interval(self):
+        _, loop = self._loop()
+        assert loop.initiation_interval() == 1
+
+    def test_static_trip_count(self):
+        _, loop = self._loop()
+        assert loop.static_trip_count() == 10
+
+    def test_missing_yield_rejected(self):
+        module, _ = self._loop(with_yield=False)
+        with pytest.raises(VerificationError, match="hir.yield"):
+            verify(module)
+
+    def test_set_iv_type(self):
+        _, loop = self._loop()
+        from repro.ir.types import IntegerType
+        loop.set_iv_type(IntegerType(5))
+        assert loop.iv_type == IntegerType(5)
+
+    def test_unroll_for_iterations(self):
+        design = DesignBuilder("d")
+        with design.func("f", []) as f:
+            with f.unroll_for(0, 8, 2, time=f.time) as loop:
+                f.yield_(loop.time)
+            f.return_()
+        unroll = next(op for op in design.module.walk()
+                      if isinstance(op, UnrollForOp))
+        assert unroll.iterations() == [0, 2, 4, 6]
+        assert unroll.induction_var.type == CONST
+
+    def test_unroll_for_bad_step(self):
+        time_holder = FuncOp("f", [], [])
+        with pytest.raises(VerificationError):
+            op = UnrollForOp(0, 4, 0, time_holder.time_arg)
+            op.verify_op()
+
+    def test_yield_outside_loop_rejected(self):
+        func = FuncOp("f", [], [])
+        func.body.append(YieldOp(func.time_arg, 1))
+        func.body.append(ReturnOp())
+        with pytest.raises(VerificationError, match="nested"):
+            verify(func)
+
+
+class TestComputeOps:
+    def test_evaluate(self):
+        a = ConstantOp(6, I32).results[0]
+        b = ConstantOp(7, I32).results[0]
+        assert AddOp(a, b).evaluate(6, 7) == 13
+        assert MultOp(a, b).evaluate(6, 7) == 42
+
+    def test_cmp_produces_i1(self):
+        a = ConstantOp(1, I32).results[0]
+        cmp = CmpOp("lt", a, a)
+        assert cmp.results[0].type == I1
+        assert cmp.evaluate(3, 4) == 1
+        assert cmp.evaluate(4, 3) == 0
+
+    def test_cmp_invalid_predicate(self):
+        a = ConstantOp(1, I32).results[0]
+        with pytest.raises(ValueError):
+            CmpOp("???", a, a)
+
+    def test_select_result_type(self):
+        c = ConstantOp(1, I1).results[0]
+        a = ConstantOp(2, I32).results[0]
+        b = ConstantOp(3, I32).results[0]
+        assert SelectOp(c, a, b).results[0].type == I32
+
+    def test_commutativity_flags(self):
+        assert AddOp.COMMUTATIVE and MultOp.COMMUTATIVE
+        from repro.hir.ops import SubOp, ShlOp
+        assert not SubOp.COMMUTATIVE and not ShlOp.COMMUTATIVE
+
+    def test_constant_value_helper(self):
+        c = ConstantOp(5)
+        assert constant_value(c.results[0]) == 5
+        func = FuncOp("f", [I32], [])
+        assert constant_value(func.arguments[0]) is None
+
+
+class TestMemoryOps:
+    def test_alloc_port_mismatch_rejected(self):
+        ports = [MemrefType((4,), I32, "r"), MemrefType((8,), I32, "w")]
+        with pytest.raises(VerificationError):
+            AllocOp(ports).verify_op()
+
+    def test_alloc_accessors(self):
+        alloc = AllocOp([MemrefType((4,), I32, "r"), MemrefType((4,), I32, "w")],
+                        mem_kind="bram")
+        assert alloc.mem_kind == "bram"
+        assert len(alloc.ports) == 2
+        alloc.verify_op()
+
+    def test_read_through_write_port_rejected(self):
+        func = FuncOp("f", [MemrefType((4,), I32, "w")], [])
+        index = ConstantOp(0)
+        func.body.append(index)
+        read = MemReadOp(func.arguments[0], [index.results[0]], func.time_arg)
+        func.body.append(read)
+        func.body.append(ReturnOp())
+        with pytest.raises(VerificationError, match="cannot read"):
+            verify(func)
+
+    def test_write_through_read_port_rejected(self):
+        func = FuncOp("f", [MemrefType((4,), I32, "r")], [])
+        index = ConstantOp(0)
+        value = ConstantOp(1, I32)
+        func.body.append(index)
+        func.body.append(value)
+        func.body.append(MemWriteOp(value.results[0], func.arguments[0],
+                                    [index.results[0]], func.time_arg))
+        func.body.append(ReturnOp())
+        with pytest.raises(VerificationError, match="cannot write"):
+            verify(func)
+
+    def test_wrong_index_count_rejected(self):
+        func = FuncOp("f", [MemrefType((4, 4), I32, "r")], [])
+        index = ConstantOp(0)
+        func.body.append(index)
+        func.body.append(MemReadOp(func.arguments[0], [index.results[0]],
+                                   func.time_arg))
+        func.body.append(ReturnOp())
+        with pytest.raises(VerificationError, match="indices"):
+            verify(func)
+
+    def test_distributed_dim_requires_constant_index(self):
+        func = FuncOp("f", [MemrefType((4,), I32, "r", packing=()), I32], [])
+        func.body.append(MemReadOp(func.arguments[0], [func.arguments[1]],
+                                   func.time_arg))
+        func.body.append(ReturnOp())
+        with pytest.raises(VerificationError, match="compile-time constant"):
+            verify(func)
+
+
+class TestDelayAndCall:
+    def test_delay_accessors(self):
+        func = FuncOp("f", [I32], [])
+        delay = DelayOp(func.arguments[0], 3, func.time_arg, offset=1)
+        assert delay.delay == 3
+        assert delay.offset == 1
+        assert delay.results[0].type == I32
+
+    def test_negative_delay_rejected(self):
+        func = FuncOp("f", [I32], [])
+        with pytest.raises(VerificationError):
+            DelayOp(func.arguments[0], -1, func.time_arg).verify_op()
+
+    def test_call_result_delays_checked(self):
+        func = FuncOp("f", [I32], [])
+        call = CallOp("ip", [func.arguments[0]], [I32, I32], func.time_arg,
+                      result_delays=[1])
+        with pytest.raises(VerificationError, match="result_delays"):
+            call.verify_op()
+
+    def test_call_accessors(self):
+        func = FuncOp("f", [I32], [])
+        call = CallOp("ip", [func.arguments[0]], [I32], func.time_arg, offset=2,
+                      result_delays=[3])
+        assert call.callee == "ip"
+        assert call.offset == 2
+        assert call.result_delays == (3,)
+        assert call.args == [func.arguments[0]]
+        assert call.time_operand is func.time_arg

@@ -1,0 +1,129 @@
+"""Tests for HIR types, especially the memref banking semantics (Figure 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.errors import ParseError
+from repro.ir.types import I8, I32
+from repro.hir.types import CONST, TIME, ConstType, MemrefType, TimeType, parse_memref_body
+
+
+class TestBasicTypes:
+    def test_const_and_time_strings(self):
+        assert str(CONST) == "!hir.const"
+        assert str(TIME) == "!hir.time"
+
+    def test_singleton_equality(self):
+        assert ConstType() == CONST
+        assert TimeType() == TIME
+
+
+class TestMemrefConstruction:
+    def test_default_is_fully_packed(self):
+        m = MemrefType((16, 16), I32)
+        assert m.packed_dims() == (0, 1)
+        assert m.distributed_dims() == ()
+        assert m.num_banks == 1
+        assert m.elements_per_bank == 256
+
+    def test_fully_distributed(self):
+        m = MemrefType((4,), I32, packing=())
+        assert m.num_banks == 4
+        assert m.elements_per_bank == 1
+        assert m.is_register_implemented
+
+    def test_figure3_layout(self):
+        """!hir.memref<3*2*i32, packing=[1]> -> two banks of three elements."""
+        m = MemrefType((3, 2), I32, packing=(1,))
+        assert m.num_banks == 2
+        assert m.elements_per_bank == 3
+        assert [m.bank_of((i, 0)) for i in range(3)] == [0, 0, 0]
+        assert [m.bank_of((i, 1)) for i in range(3)] == [1, 1, 1]
+        assert [m.offset_in_bank((i, 0)) for i in range(3)] == [0, 1, 2]
+
+    def test_read_latency(self):
+        assert MemrefType((2,), I32, packing=()).read_latency == 0
+        assert MemrefType((16,), I32).read_latency == 1
+
+    def test_ports(self):
+        assert MemrefType((4,), I32, port="r").can_read
+        assert not MemrefType((4,), I32, port="r").can_write
+        assert MemrefType((4,), I32, port="w").can_write
+        rw = MemrefType((4,), I32, port="rw")
+        assert rw.can_read and rw.can_write
+
+    def test_with_port(self):
+        m = MemrefType((4,), I32, port="r")
+        assert m.with_port("w").port == "w"
+        assert m.with_port("w").shape == m.shape
+
+    def test_address_width(self):
+        assert MemrefType((16,), I32).address_width == 4
+        assert MemrefType((17,), I32).address_width == 5
+        assert MemrefType((2,), I32, packing=()).address_width == 0
+
+    def test_num_elements(self):
+        assert MemrefType((3, 5), I8).num_elements == 15
+
+    @pytest.mark.parametrize("bad", [
+        {"shape": ()},
+        {"shape": (0,)},
+        {"shape": (-1, 4)},
+        {"shape": (4,), "port": "x"},
+        {"shape": (4,), "packing": (1,)},
+        {"shape": (4, 4), "packing": (0, 0)},
+    ])
+    def test_invalid_memrefs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            MemrefType(bad.get("shape"), I32, port=bad.get("port", "r"),
+                       packing=bad.get("packing"))
+
+    def test_bank_of_bounds_checked(self):
+        m = MemrefType((3, 2), I32, packing=(1,))
+        with pytest.raises(ValueError):
+            m.bank_of((3, 0))
+        with pytest.raises(ValueError):
+            m.bank_of((0,))
+
+
+class TestMemrefParsing:
+    def test_simple(self):
+        m = parse_memref_body("16 * 16 * i32 , r")
+        assert m == MemrefType((16, 16), I32, port="r")
+
+    def test_packing(self):
+        m = parse_memref_body("2 * i32 , r , packing = [ ]")
+        assert m.packing == ()
+        assert m.is_register_implemented
+
+    def test_packing_values(self):
+        m = parse_memref_body("3 * 2 * i32 , w , packing = [ 1 ]")
+        assert m.packing == (1,)
+        assert m.port == "w"
+
+    def test_str_parse_round_trip(self):
+        for m in (MemrefType((8,), I32), MemrefType((3, 2), I8, "w", (1,)),
+                  MemrefType((2, 2), I32, "rw", ())):
+            body = str(m)[len("!hir.memref<"):-1]
+            assert parse_memref_body(body) == m
+
+    @pytest.mark.parametrize("bad", ["", "i32, r", "4 * i32, q", "4 * i32, r, banks=2"])
+    def test_malformed_bodies(self, bad):
+        with pytest.raises(ParseError):
+            parse_memref_body(bad)
+
+
+@given(shape=st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=3))
+def test_every_element_maps_to_exactly_one_bank_slot(shape):
+    """Property: (bank, offset) addressing is a bijection over the elements."""
+    shape = tuple(shape)
+    packing = tuple(range(0, len(shape), 2))  # pack every other dim (from right)
+    m = MemrefType(shape, I32, packing=packing)
+    seen = set()
+    import itertools
+    for indices in itertools.product(*(range(extent) for extent in shape)):
+        key = (m.bank_of(indices), m.offset_in_bank(indices))
+        assert key not in seen
+        seen.add(key)
+    assert len(seen) == m.num_elements
+    assert m.num_banks * m.elements_per_bank == m.num_elements

@@ -1,0 +1,86 @@
+"""Unit tests for attributes."""
+
+import pytest
+
+from repro.ir.attributes import (
+    ArrayAttr,
+    BoolAttr,
+    FloatAttr,
+    IntegerAttr,
+    StringAttr,
+    SymbolRefAttr,
+    TypeAttr,
+    attr,
+    int_of,
+    ints_of,
+)
+from repro.ir.types import I32
+
+
+class TestAttrConversion:
+    def test_int(self):
+        assert attr(5) == IntegerAttr(5)
+
+    def test_bool_is_not_int(self):
+        assert isinstance(attr(True), BoolAttr)
+
+    def test_float(self):
+        assert attr(2.5) == FloatAttr(2.5)
+
+    def test_string(self):
+        assert attr("x") == StringAttr("x")
+
+    def test_type(self):
+        assert attr(I32) == TypeAttr(I32)
+
+    def test_list_becomes_array(self):
+        array = attr([1, 2, 3])
+        assert isinstance(array, ArrayAttr)
+        assert ints_of(array) == (1, 2, 3)
+
+    def test_nested_list(self):
+        array = attr([[1], [2, 3]])
+        assert isinstance(array[0], ArrayAttr)
+
+    def test_passthrough(self):
+        original = StringAttr("y")
+        assert attr(original) is original
+
+    def test_unconvertible(self):
+        with pytest.raises(TypeError):
+            attr(object())
+
+
+class TestAccessors:
+    def test_int_of(self):
+        assert int_of(IntegerAttr(7)) == 7
+        assert int_of(BoolAttr(True)) == 1
+
+    def test_int_of_wrong_kind(self):
+        with pytest.raises(TypeError):
+            int_of(StringAttr("no"))
+
+    def test_ints_of_wrong_kind(self):
+        with pytest.raises(TypeError):
+            ints_of(IntegerAttr(3))
+
+    def test_array_iteration_and_len(self):
+        array = attr([4, 5])
+        assert len(array) == 2
+        assert [int_of(a) for a in array] == [4, 5]
+        assert int_of(array[1]) == 5
+
+
+class TestPrintingForms:
+    def test_symbol_ref(self):
+        assert str(SymbolRefAttr("callee")) == "@callee"
+
+    def test_bool_text(self):
+        assert str(BoolAttr(True)) == "true"
+        assert str(BoolAttr(False)) == "false"
+
+    def test_typed_integer(self):
+        assert str(IntegerAttr(3, I32)) == "3 : i32"
+
+    def test_array_text(self):
+        assert str(attr([1, 2])) == "[1, 2]"

@@ -1,0 +1,185 @@
+"""Unit tests for operations, values, blocks, regions and use lists."""
+
+import pytest
+
+from repro.ir import (
+    Block,
+    Builder,
+    ModuleOp,
+    Operation,
+    Region,
+    VerificationError,
+    create_operation,
+    registered_operation,
+    verify,
+)
+from repro.ir.types import I32
+from repro.hir.ops import AddOp, ConstantOp, FuncOp, ReturnOp
+
+
+def make_constants():
+    a = ConstantOp(1, I32)
+    b = ConstantOp(2, I32)
+    return a, b
+
+
+class TestUseLists:
+    def test_results_track_uses(self):
+        a, b = make_constants()
+        add = AddOp(a.results[0], b.results[0])
+        assert a.results[0].num_uses == 1
+        assert list(a.results[0].users()) == [add]
+
+    def test_replace_all_uses(self):
+        a, b = make_constants()
+        add = AddOp(a.results[0], a.results[0])
+        a.results[0].replace_all_uses_with(b.results[0])
+        assert a.results[0].num_uses == 0
+        assert b.results[0].num_uses == 2
+        assert add.operand(0) is b.results[0]
+
+    def test_replace_with_self_is_noop(self):
+        a, _ = make_constants()
+        AddOp(a.results[0], a.results[0])
+        a.results[0].replace_all_uses_with(a.results[0])
+        assert a.results[0].num_uses == 2
+
+    def test_set_operand_updates_uses(self):
+        a, b = make_constants()
+        add = AddOp(a.results[0], a.results[0])
+        add.set_operand(1, b.results[0])
+        assert a.results[0].num_uses == 1
+        assert b.results[0].num_uses == 1
+
+    def test_operand_must_be_value(self):
+        a, _ = make_constants()
+        with pytest.raises(TypeError):
+            Operation(name="test.op", operands=[42])  # type: ignore[list-item]
+
+
+class TestEraseAndClone:
+    def test_erase_with_uses_raises(self):
+        a, b = make_constants()
+        block = Block()
+        block.append(a)
+        block.append(b)
+        block.append(AddOp(a.results[0], b.results[0]))
+        with pytest.raises(VerificationError):
+            a.erase()
+
+    def test_erase_removes_from_block(self):
+        a, _ = make_constants()
+        block = Block()
+        block.append(a)
+        a.erase()
+        assert len(block) == 0
+        assert a.parent_block is None
+
+    def test_clone_is_deep(self):
+        func = FuncOp("f", [I32], [])
+        builder = Builder()
+        builder.set_insertion_point_to_end(func.body)
+        c = builder.insert(ConstantOp(3, I32))
+        builder.insert(AddOp(c.results[0], func.arguments[0]))
+        builder.insert(ReturnOp())
+        clone = func.clone()
+        assert clone is not func
+        assert len(clone.body.operations) == len(func.body.operations)
+        # Cloned ops reference cloned values, not the originals.
+        cloned_add = clone.body.operations[1]
+        assert cloned_add.operand(0) is not c.results[0]
+
+    def test_clone_preserves_attributes(self):
+        a = ConstantOp(9, I32)
+        assert a.clone().get_attr("value").value == 9
+
+    def test_result_property_single(self):
+        a, _ = make_constants()
+        assert a.result is a.results[0]
+
+    def test_result_property_multiple_raises(self):
+        op = Operation(name="test.multi", result_types=[I32, I32])
+        with pytest.raises(ValueError):
+            _ = op.result
+
+
+class TestStructure:
+    def test_walk_order_is_preorder(self):
+        module = ModuleOp("m")
+        func = FuncOp("f", [], [])
+        module.add(func)
+        func.body.append(ReturnOp())
+        names = [op.name for op in module.walk()]
+        assert names == ["builtin.module", "hir.func", "hir.return"]
+
+    def test_parent_links(self):
+        func = FuncOp("f", [], [])
+        ret = ReturnOp()
+        func.body.append(ret)
+        assert ret.parent_op is func
+        assert list(ret.ancestors()) == [func]
+
+    def test_region_block_accessors(self):
+        region = Region()
+        with pytest.raises(ValueError):
+            _ = region.block
+        block = region.add_block()
+        assert region.block is block
+        assert len(region) == 1
+
+    def test_block_insert_before_after(self):
+        block = Block()
+        a, b = make_constants()
+        block.append(a)
+        block.insert_before(a, b)
+        assert block.operations == [b, a]
+        c = ConstantOp(3, I32)
+        block.insert_after(b, c)
+        assert block.operations == [b, c, a]
+
+    def test_block_index_of_missing(self):
+        block = Block()
+        a, _ = make_constants()
+        with pytest.raises(ValueError):
+            block.index_of(a)
+
+
+class TestRegistry:
+    def test_registered_operation_lookup(self):
+        assert registered_operation("hir.add") is AddOp
+        assert registered_operation("no.such.op") is None
+
+    def test_create_operation_uses_registered_class(self):
+        a, b = make_constants()
+        op = create_operation("hir.add", operands=[a.results[0], b.results[0]],
+                              result_types=[I32])
+        assert isinstance(op, AddOp)
+
+    def test_create_operation_generic_fallback(self):
+        op = create_operation("custom.op", result_types=[I32])
+        assert type(op) is Operation
+        assert op.name == "custom.op"
+
+
+class TestModuleSymbols:
+    def test_lookup(self):
+        module = ModuleOp("m")
+        func = FuncOp("f", [], [])
+        func.body.append(ReturnOp())
+        module.add(func)
+        assert module.lookup("f") is func
+        assert module.lookup("missing") is None
+
+    def test_require_raises(self):
+        module = ModuleOp("m")
+        with pytest.raises(VerificationError):
+            module.require("missing")
+
+    def test_duplicate_symbols_rejected(self):
+        module = ModuleOp("m")
+        for _ in range(2):
+            func = FuncOp("dup", [], [])
+            func.body.append(ReturnOp())
+            module.add(func)
+        with pytest.raises(VerificationError):
+            verify(module)

@@ -1,0 +1,137 @@
+"""Round-trip tests for the textual IR format (printer + parser)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import parse_module, print_module, verify, ParseError
+from repro.ir.types import I32
+from repro.hir import DesignBuilder, MemrefType
+
+
+def build_transpose_module(size=4):
+    design = DesignBuilder("roundtrip")
+    a = MemrefType((size, size), I32, port="r")
+    c = MemrefType((size, size), I32, port="w")
+    with design.func("transpose", [("Ai", a), ("Co", c)]) as f:
+        with f.for_loop(0, size, 1, time=f.time, iter_offset=1, iv_name="i") as i_loop:
+            with f.for_loop(0, size, 1, time=i_loop.time, iter_offset=1,
+                            iv_name="j") as j_loop:
+                v = f.mem_read(f.arg("Ai"), [i_loop.iv, j_loop.iv], time=j_loop.time)
+                jd = f.delay(j_loop.iv, 1, time=j_loop.time)
+                f.mem_write(v, f.arg("Co"), [jd, i_loop.iv], time=j_loop.time, offset=1)
+                f.yield_(j_loop.time, offset=1)
+            f.yield_(j_loop.done, offset=1)
+        f.return_()
+    return design.module
+
+
+class TestRoundTrip:
+    def test_transpose_round_trips(self):
+        module = build_transpose_module()
+        text = print_module(module)
+        reparsed = parse_module(text)
+        verify(reparsed)
+        assert print_module(reparsed) == text
+
+    def test_round_trip_is_stable_fixed_point(self):
+        module = build_transpose_module()
+        once = print_module(parse_module(print_module(module)))
+        twice = print_module(parse_module(once))
+        assert once == twice
+
+    def test_parsed_ops_are_typed(self):
+        module = parse_module(print_module(build_transpose_module()))
+        from repro.hir.ops import ForOp, MemReadOp
+        kinds = {type(op) for op in module.walk()}
+        assert ForOp in kinds and MemReadOp in kinds
+
+    def test_memref_type_round_trips(self):
+        module = parse_module(print_module(build_transpose_module()))
+        func = module.lookup("transpose")
+        arg_type = func.arguments[0].type
+        assert isinstance(arg_type, MemrefType)
+        assert arg_type.shape == (4, 4)
+        assert arg_type.port == "r"
+
+    @pytest.mark.parametrize("kernel,params", [
+        ("stencil_1d", {"size": 16}),
+        ("histogram", {"pixels": 16, "bins": 16}),
+        ("convolution", {"size": 6}),
+        ("fifo", {"depth": 16}),
+        ("gemm", {"size": 2}),
+    ])
+    def test_every_kernel_round_trips(self, kernel, params):
+        from repro.kernels import build_kernel
+        module = build_kernel(kernel, **params).module
+        text = print_module(module)
+        reparsed = parse_module(text)
+        verify(reparsed)
+        assert print_module(reparsed) == text
+
+
+class TestParseErrors:
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_module("")
+
+    def test_undefined_value(self):
+        text = '"hir.add"(%missing, %missing) : (i32, i32) -> (i32)'
+        with pytest.raises(ParseError, match="undefined value"):
+            parse_module(text)
+
+    def test_operand_type_mismatch(self):
+        text = ('"builtin.module"() ({\n^bb0:\n'
+                '  %c = "hir.constant"() {value = 1} : () -> (i32)\n'
+                '  %x = "hir.add"(%c, %c) : (i8, i8) -> (i8)\n'
+                '}) : () -> ()')
+        with pytest.raises(ParseError, match="has type"):
+            parse_module(text)
+
+    def test_unknown_dialect_type(self):
+        with pytest.raises(ParseError):
+            parse_module('"test.op"() : () -> (!nodialect.foo)')
+
+    def test_unknown_hir_type(self):
+        with pytest.raises(ParseError):
+            parse_module('"test.op"() : () -> (!hir.bogus)')
+
+    def test_trailing_garbage(self):
+        text = '"hir.constant"() {value = 1} : () -> (!hir.const) extra'
+        with pytest.raises(ParseError, match="trailing"):
+            parse_module(text)
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_module("`")
+
+
+class TestAttributeRoundTrip:
+    @pytest.mark.parametrize("attrs_text", [
+        '{value = 42}',
+        '{value = -7}',
+        '{name = "hello world"}',
+        '{flag = true, other = false}',
+        '{callee = @foo}',
+        '{items = [1, 2, 3]}',
+        '{nested = [[1], [2, 3]]}',
+        '{ty = i32}',
+    ])
+    def test_attr_forms(self, attrs_text):
+        text = f'"test.op"() {attrs_text} : () -> ()'
+        module = parse_module(text)
+        assert print_module(module).strip().startswith('"test.op"')
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=st.lists(st.integers(min_value=-1000, max_value=1000),
+                       min_size=1, max_size=6))
+def test_constant_chain_round_trips(values):
+    """Property: modules of chained constant/add ops always round-trip."""
+    design = DesignBuilder("prop")
+    with design.func("chain", [("x", I32)], result_types=[I32]) as f:
+        acc = f.arg("x")
+        for value in values:
+            acc = f.add(acc, f.constant(value, I32))
+        f.return_([acc])
+    text = print_module(design.module)
+    assert print_module(parse_module(text)) == text

@@ -1,0 +1,109 @@
+"""Unit tests for the core type system."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.types import (
+    F32,
+    I1,
+    I8,
+    I32,
+    FloatType,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    NoneType,
+    i,
+)
+
+
+class TestIntegerType:
+    def test_str_signed(self):
+        assert str(IntegerType(32)) == "i32"
+
+    def test_str_unsigned(self):
+        assert str(IntegerType(8, signed=False)) == "ui8"
+
+    def test_bitwidth(self):
+        assert IntegerType(17).bitwidth == 17
+
+    def test_equality(self):
+        assert IntegerType(32) == I32
+        assert IntegerType(32) != IntegerType(31)
+
+    def test_hashable(self):
+        assert len({IntegerType(8), IntegerType(8), IntegerType(9)}) == 2
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntegerType(0)
+        with pytest.raises(ValueError):
+            IntegerType(-3)
+
+    def test_signed_range(self):
+        assert I8.min_value() == -128
+        assert I8.max_value() == 127
+
+    def test_unsigned_range(self):
+        u4 = IntegerType(4, signed=False)
+        assert u4.min_value() == 0
+        assert u4.max_value() == 15
+
+    def test_wrap_positive_overflow(self):
+        assert I8.wrap(128) == -128
+
+    def test_wrap_negative(self):
+        assert I8.wrap(-1) == -1
+
+    def test_wrap_unsigned(self):
+        u8 = IntegerType(8, signed=False)
+        assert u8.wrap(256) == 0
+        assert u8.wrap(-1) == 255
+
+    def test_i_helper(self):
+        assert i(5) == IntegerType(5)
+
+    @given(st.integers(min_value=-(2 ** 40), max_value=2 ** 40))
+    def test_wrap_is_idempotent(self, value):
+        wrapped = I8.wrap(value)
+        assert I8.wrap(wrapped) == wrapped
+        assert I8.min_value() <= wrapped <= I8.max_value()
+
+    @given(st.integers(min_value=1, max_value=64),
+           st.integers(min_value=-(2 ** 70), max_value=2 ** 70))
+    def test_wrap_congruent_modulo_width(self, width, value):
+        ty = IntegerType(width)
+        assert (ty.wrap(value) - value) % (1 << width) == 0
+
+
+class TestFloatAndOtherTypes:
+    def test_float_str(self):
+        assert str(F32) == "f32"
+
+    def test_float_invalid_width(self):
+        with pytest.raises(ValueError):
+            FloatType(24)
+
+    def test_float_bitwidth(self):
+        assert FloatType(64).bitwidth == 64
+
+    def test_index_and_none(self):
+        assert str(IndexType()) == "index"
+        assert str(NoneType()) == "none"
+        assert NoneType().bitwidth == 0
+
+    def test_i1_is_one_bit(self):
+        assert I1.bitwidth == 1
+
+
+class TestFunctionType:
+    def test_str(self):
+        ft = FunctionType((I32, I8), (I32,))
+        assert str(ft) == "(i32, i8) -> (i32)"
+
+    def test_empty(self):
+        assert str(FunctionType()) == "() -> ()"
+
+    def test_equality(self):
+        assert FunctionType((I32,), ()) == FunctionType((I32,), ())
+        assert FunctionType((I32,), ()) != FunctionType((I8,), ())

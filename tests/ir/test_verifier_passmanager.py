@@ -1,0 +1,137 @@
+"""Tests for the structural verifier, builder and pass manager."""
+
+import pytest
+
+from repro.ir import (
+    Block,
+    Builder,
+    InsertionPoint,
+    ModuleOp,
+    Pass,
+    PassManager,
+    VerificationError,
+    collect_errors,
+    verify,
+)
+from repro.ir.types import I32
+from repro.hir.ops import AddOp, ConstantOp, FuncOp, ReturnOp
+
+
+def valid_module():
+    module = ModuleOp("m")
+    func = FuncOp("f", [I32], [])
+    builder = Builder()
+    builder.set_insertion_point_to_end(func.body)
+    c = builder.insert(ConstantOp(1, I32))
+    builder.insert(AddOp(c.results[0], func.arguments[0]))
+    builder.insert(ReturnOp())
+    module.add(func)
+    return module
+
+
+class TestVerifier:
+    def test_valid_module_passes(self):
+        verify(valid_module())
+
+    def test_use_before_def_detected(self):
+        module = ModuleOp("m")
+        func = FuncOp("f", [], [])
+        c = ConstantOp(1, I32)
+        add = AddOp(c.results[0], c.results[0])
+        func.body.append(add)      # add appears before the constant
+        func.body.append(c)
+        func.body.append(ReturnOp())
+        module.add(func)
+        with pytest.raises(VerificationError, match="dominate"):
+            verify(module)
+
+    def test_value_from_sibling_region_rejected(self):
+        module = ModuleOp("m")
+        f1 = FuncOp("f1", [], [])
+        c = ConstantOp(1, I32)
+        f1.body.append(c)
+        f1.body.append(ReturnOp())
+        f2 = FuncOp("f2", [], [])
+        f2.body.append(AddOp(c.results[0], c.results[0]))
+        f2.body.append(ReturnOp())
+        module.add(f1)
+        module.add(f2)
+        errors = collect_errors(module)
+        assert any("dominate" in e.message for e in errors)
+
+    def test_collect_errors_returns_all(self):
+        module = ModuleOp("m")
+        func = FuncOp("f", [], [])   # missing hir.return
+        module.add(func)
+        errors = collect_errors(module)
+        assert errors
+
+    def test_missing_return_detected(self):
+        func = FuncOp("f", [], [])
+        with pytest.raises(VerificationError, match="hir.return"):
+            verify(func)
+
+
+class TestBuilder:
+    def test_requires_insertion_point(self):
+        with pytest.raises(RuntimeError):
+            Builder().insert(ConstantOp(1, I32))
+
+    def test_insert_before_and_after(self):
+        block = Block()
+        a = ConstantOp(1, I32)
+        block.append(a)
+        builder = Builder()
+        builder.set_insertion_point_before(a)
+        b = builder.insert(ConstantOp(2, I32))
+        assert block.operations[0] is b
+        builder.set_insertion_point_after(a)
+        c = builder.insert(ConstantOp(3, I32))
+        assert block.operations[-1] is c
+
+    def test_at_end_of_restores_point(self):
+        block_a, block_b = Block(), Block()
+        builder = Builder(InsertionPoint(block_a))
+        with builder.at_end_of(block_b):
+            builder.insert(ConstantOp(1, I32))
+        builder.insert(ConstantOp(2, I32))
+        assert len(block_b) == 1 and len(block_a) == 1
+
+
+class CountOpsPass(Pass):
+    name = "count-ops"
+
+    def run(self, module):
+        for _ in module.walk():
+            self.record("ops")
+
+
+class TestPassManager:
+    def test_runs_passes_and_records_stats(self):
+        manager = PassManager()
+        manager.add(CountOpsPass())
+        manager.run(valid_module())
+        assert manager.statistic("count-ops", "ops") == 5
+
+    def test_timing_report_mentions_pass(self):
+        manager = PassManager().add(CountOpsPass())
+        manager.run(valid_module())
+        assert "count-ops" in manager.timing_report()
+
+    def test_verify_each_catches_broken_pass(self):
+        class BreakIRPass(Pass):
+            name = "break-ir"
+
+            def run(self, module):
+                func = module.lookup("f")
+                func.body.operations.pop()  # drop the terminator
+
+        manager = PassManager(verify_each=True).add(BreakIRPass())
+        with pytest.raises(VerificationError):
+            manager.run(valid_module())
+
+    def test_statistic_missing_returns_none(self):
+        manager = PassManager().add(CountOpsPass())
+        manager.run(valid_module())
+        assert manager.statistic("count-ops", "missing") is None
+        assert manager.statistic("other", "ops") is None

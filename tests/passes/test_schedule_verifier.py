@@ -1,0 +1,161 @@
+"""Tests for the schedule verifier (Section 6.1, Figures 1 and 2)."""
+
+import pytest
+
+from repro.ir import ScheduleError
+from repro.ir.types import I8, I32
+from repro.hir import DesignBuilder, MemrefType
+from repro.passes import (
+    CROSS_REGION_USE,
+    INVALID_OPERAND_TIME,
+    PIPELINE_IMBALANCE,
+    PORT_CONFLICT,
+    RESULT_DELAY_MISMATCH,
+    ScheduleVerifierPass,
+    verify_schedule,
+)
+from repro.evaluation.figures import build_array_add, build_mac
+
+
+class TestFigure1:
+    def test_broken_design_reports_invalid_operand_time(self):
+        report = verify_schedule(build_array_add(correct=False))
+        assert not report.ok
+        kinds = [d.kind for d in report.diagnostics]
+        assert INVALID_OPERAND_TIME in kinds
+
+    def test_diagnostic_mentions_the_induction_variable_and_ii(self):
+        report = verify_schedule(build_array_add(correct=False))
+        message = report.of_kind(INVALID_OPERAND_TIME)[0].message
+        assert "%i" in message
+        assert "initiation interval 1" in message
+        assert "hir.delay" in message
+
+    def test_fixed_design_passes(self):
+        assert verify_schedule(build_array_add(correct=True)).ok
+
+    def test_raise_on_error(self):
+        with pytest.raises(ScheduleError):
+            verify_schedule(build_array_add(correct=False), raise_on_error=True)
+
+    def test_pass_wrapper_records_statistics(self):
+        verifier = ScheduleVerifierPass(raise_on_error=False)
+        verifier.run(build_array_add(correct=False))
+        assert verifier.statistics["errors-found"] >= 1
+        assert verifier.statistics["functions-verified"] == 1
+
+
+class TestFigure2:
+    def test_three_stage_multiplier_is_imbalanced(self):
+        report = verify_schedule(build_mac(multiplier_stages=3))
+        kinds = {d.kind for d in report.diagnostics}
+        assert PIPELINE_IMBALANCE in kinds
+        assert RESULT_DELAY_MISMATCH in kinds
+
+    def test_imbalance_message_names_both_times(self):
+        report = verify_schedule(build_mac(multiplier_stages=3))
+        message = report.of_kind(PIPELINE_IMBALANCE)[0].message
+        assert "%t+3" in message and "%t+2" in message
+
+    def test_two_stage_multiplier_is_balanced(self):
+        assert verify_schedule(build_mac(multiplier_stages=2)).ok
+
+
+class TestOtherDiagnostics:
+    def test_cross_region_use(self):
+        design = DesignBuilder("d")
+        a = MemrefType((8,), I32, port="r")
+        c = MemrefType((8,), I32, port="w")
+        with design.func("f", [("A", a), ("C", c)]) as f:
+            with f.for_loop(0, 8, 1, time=f.time, iter_offset=1) as first:
+                value = f.mem_read(f.arg("A"), [first.iv], time=first.time)
+                f.yield_(first.time, offset=2)
+            with f.for_loop(0, 8, 1, time=first.done, iter_offset=1,
+                            iv_name="j") as second:
+                # 'value' was produced relative to the first loop's iteration
+                # time; consuming it here crosses time regions.
+                f.mem_write(value, f.arg("C"), [f.delay(second.iv, 1, second.time)],
+                            time=second.time, offset=1)
+                f.yield_(second.time, offset=2)
+            f.return_()
+        report = verify_schedule(design.module)
+        assert report.of_kind(CROSS_REGION_USE)
+
+    def test_same_bank_port_conflict(self):
+        design = DesignBuilder("d")
+        out = MemrefType((8,), I32, port="w")
+        with design.func("f", [("C", out)]) as f:
+            # Two writes to different addresses of the same port in one cycle.
+            f.mem_write(1, f.arg("C"), [0], time=f.time, offset=1)
+            f.mem_write(2, f.arg("C"), [1], time=f.time, offset=1)
+            f.return_()
+        report = verify_schedule(design.module)
+        assert report.of_kind(PORT_CONFLICT)
+
+    def test_same_address_parallel_access_is_allowed(self):
+        design = DesignBuilder("d")
+        out = MemrefType((8,), I32, port="w")
+        with design.func("f", [("C", out)]) as f:
+            f.mem_write(1, f.arg("C"), [3], time=f.time, offset=1)
+            f.mem_write(1, f.arg("C"), [3], time=f.time, offset=1)
+            f.return_()
+        assert verify_schedule(design.module).ok
+
+    def test_different_banks_parallel_access_is_allowed(self):
+        design = DesignBuilder("d")
+        with design.func("f", []) as f:
+            reader, writer = f.alloc((2,), I32, ports=("r", "w"), packing=[])
+            f.mem_write(1, writer, [0], time=f.time)
+            f.mem_write(2, writer, [1], time=f.time)
+            f.return_()
+        assert verify_schedule(design.module).ok
+
+    def test_result_delay_mismatch(self):
+        design = DesignBuilder("d")
+        with design.func("f", [("x", I32)], result_types=[I32],
+                         result_delays=[2]) as f:
+            f.return_([f.delay(f.arg("x"), 1, time=f.time)])
+        report = verify_schedule(design.module)
+        assert report.of_kind(RESULT_DELAY_MISMATCH)
+
+    def test_correct_result_delay_passes(self):
+        design = DesignBuilder("d")
+        with design.func("f", [("x", I32)], result_types=[I32],
+                         result_delays=[2]) as f:
+            f.return_([f.delay(f.arg("x"), 2, time=f.time)])
+        assert verify_schedule(design.module).ok
+
+
+class TestStableValueRules:
+    def test_outer_iv_usable_in_nested_loop(self):
+        """Listing 1: %i (outer IV) indexes a memref inside the j-loop."""
+        from repro.kernels import transpose
+        assert verify_schedule(transpose.build_hir(4).module).ok
+
+    def test_pure_expression_of_outer_iv_is_stable(self):
+        """Convolution-style row address (outer IV + constant) in inner loop."""
+        from repro.kernels import convolution
+        assert verify_schedule(convolution.build_hir(6).module).ok
+
+    def test_stable_scalar_args_usable_in_loops(self):
+        from repro.kernels import stencil1d
+        assert verify_schedule(stencil1d.build_hir(16).module).ok
+
+    def test_every_kernel_schedule_is_clean(self):
+        from repro.kernels import build_kernel
+        for name, params in {
+            "transpose": {"size": 8}, "stencil_1d": {"size": 16},
+            "histogram": {"pixels": 16, "bins": 16}, "gemm": {"size": 2},
+            "convolution": {"size": 6}, "fifo": {"depth": 16},
+        }.items():
+            report = verify_schedule(build_kernel(name, **params).module)
+            assert report.ok, f"{name}: {report.render()}"
+
+    def test_report_render_mentions_kind(self):
+        report = verify_schedule(build_array_add(correct=False))
+        assert "invalid-operand-time" in report.render()
+        assert "error" in report.render()
+
+    def test_ok_report_render(self):
+        report = verify_schedule(build_array_add(correct=True))
+        assert "no errors" in report.render()

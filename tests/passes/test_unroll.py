@@ -1,0 +1,83 @@
+"""Tests for the hir.unroll_for lowering (full replication, Section 7.3)."""
+
+from repro.ir import verify
+from repro.ir.types import I32
+from repro.hir import DesignBuilder, MemrefType
+from repro.hir.ops import ConstantOp, ForOp, MemWriteOp, UnrollForOp
+from repro.passes import verify_schedule
+from repro.passes.unroll import LoopUnrollPass, unroll_all
+
+
+def ops_of(module, op_class):
+    return [op for op in module.walk() if isinstance(op, op_class)]
+
+
+def build_parallel_writes(n=4, interval=1):
+    design = DesignBuilder("d")
+    out = MemrefType((8,), I32, port="w")
+    with design.func("f", [("C", out)]) as f:
+        with f.unroll_for(0, n, 1, time=f.time, iter_offset=1, iv_name="u") as loop:
+            f.yield_(loop.time, offset=interval)
+            f.mem_write(loop.iv, f.arg("C"), [loop.iv], time=loop.time)
+        f.return_()
+    return design.module
+
+
+class TestUnrollPass:
+    def test_unroll_replicates_body(self):
+        module = build_parallel_writes(n=4)
+        unroll_all(module)
+        assert not ops_of(module, UnrollForOp)
+        assert len(ops_of(module, MemWriteOp)) == 4
+        verify(module)
+
+    def test_iteration_offsets_are_staggered(self):
+        module = build_parallel_writes(n=4, interval=2)
+        unroll_all(module)
+        offsets = sorted(op.offset for op in ops_of(module, MemWriteOp))
+        assert offsets == [1, 3, 5, 7]
+
+    def test_parallel_iterations_share_offset(self):
+        module = build_parallel_writes(n=3, interval=0)
+        unroll_all(module)
+        offsets = {op.offset for op in ops_of(module, MemWriteOp)}
+        assert offsets == {1}
+
+    def test_induction_variable_becomes_constant(self):
+        module = build_parallel_writes(n=3)
+        unroll_all(module)
+        constant_values = sorted(
+            op.value for op in ops_of(module, ConstantOp)
+            if str(op.results[0].type) == "!hir.const" and op.results[0].has_uses
+        )
+        assert constant_values == [0, 1, 2]
+
+    def test_pass_records_statistics(self):
+        pass_ = LoopUnrollPass()
+        pass_.run(build_parallel_writes())
+        assert pass_.statistics.get("loops-unrolled") == 1
+
+    def test_nested_unroll_and_inner_for_loop(self):
+        """The GEMM compute phase: unroll x unroll with a pipelined for inside."""
+        from repro.kernels import gemm
+        module = gemm.build_hir(2).module
+        unroll_all(module)
+        assert not ops_of(module, UnrollForOp)
+        # One MAC for-loop per PE survives the unrolling.
+        mac_loops = [op for op in ops_of(module, ForOp)
+                     if op.induction_var.name_hint == "k"]
+        assert len(mac_loops) == 4
+        verify(module)
+
+    def test_unrolled_module_schedule_still_verifies(self):
+        from repro.kernels import gemm
+        module = gemm.build_hir(2).module
+        unroll_all(module)
+        assert verify_schedule(module).ok
+
+    def test_unrolling_is_idempotent(self):
+        module = build_parallel_writes(n=4)
+        unroll_all(module)
+        before = len(list(module.walk()))
+        unroll_all(module)
+        assert len(list(module.walk())) == before

@@ -1,0 +1,183 @@
+"""Tests for the FPGA resource model."""
+
+import pytest
+
+from repro.resources import (
+    BRAM_THRESHOLD_BITS,
+    ResourceModel,
+    ResourceReport,
+    estimate_resources,
+    format_table,
+)
+from repro.verilog import (
+    BinOp,
+    Const,
+    Design,
+    INPUT,
+    Module,
+    NonBlockingAssign,
+    OUTPUT,
+    Ref,
+)
+
+
+def design_with(module: Module) -> Design:
+    module.add_port("clk", INPUT, 1)
+    design = Design(top=module.name)
+    design.add(module)
+    return design
+
+
+class TestReport:
+    def test_addition_and_rounding(self):
+        total = ResourceReport(1.4, 2.6, 0, 0) + ResourceReport(0.2, 0.2, 1, 2)
+        rounded = total.rounded()
+        assert rounded.lut == 2 and rounded.ff == 3
+        assert rounded.as_dict() == {"LUT": 2, "FF": 3, "DSP": 1, "BRAM": 2}
+
+    def test_str_contains_all_fields(self):
+        text = str(ResourceReport(1, 2, 3, 4))
+        assert "LUT=1" in text and "BRAM=4" in text
+
+    def test_format_table(self):
+        table = format_table({"a": ResourceReport(1, 2, 3, 4)}, title="T")
+        assert "T" in table and "LUT" in table and "a" in table
+
+
+class TestFlipFlops:
+    def test_register_bits_counted(self):
+        module = Module("m")
+        module.add_reg("a", 8)
+        module.add_reg("b", 3)
+        assert estimate_resources(design_with(module)).ff == 11
+
+    def test_register_kind_memory_counts_as_ff(self):
+        module = Module("m")
+        module.add_memory("regs", 32, 4, kind="registers")
+        assert estimate_resources(design_with(module)).ff == 128
+
+
+class TestLUTs:
+    def test_adder_costs_about_one_lut_per_bit(self):
+        module = Module("m")
+        module.add_wire("a", 32)
+        module.add_wire("b", 32)
+        module.add_wire("s", 32)
+        module.add_assign("s", BinOp("+", Ref("a"), Ref("b")))
+        assert estimate_resources(design_with(module)).lut == 32
+
+    def test_constant_shift_is_free(self):
+        module = Module("m")
+        module.add_wire("a", 32)
+        module.add_wire("s", 32)
+        module.add_assign("s", BinOp("<<", Ref("a"), Const(3, 6)))
+        assert estimate_resources(design_with(module)).lut == 0
+
+
+class TestDSPs:
+    def test_32x32_multiply_uses_three_dsps(self):
+        module = Module("m")
+        module.add_wire("a", 32)
+        module.add_wire("b", 32)
+        module.add_wire("p", 32)
+        module.add_assign("p", BinOp("*", Ref("a"), Ref("b")))
+        assert estimate_resources(design_with(module)).dsp == 3
+
+    def test_16x16_multiply_uses_one_dsp(self):
+        module = Module("m")
+        module.add_wire("a", 16)
+        module.add_wire("b", 16)
+        module.add_wire("p", 16)
+        module.add_assign("p", BinOp("*", Ref("a"), Ref("b")))
+        assert estimate_resources(design_with(module)).dsp == 1
+
+    def test_constant_multiply_uses_no_dsp(self):
+        module = Module("m")
+        module.add_wire("a", 32)
+        module.add_wire("p", 32)
+        module.add_assign("p", BinOp("*", Ref("a"), Const(10, 32)))
+        report = estimate_resources(design_with(module))
+        assert report.dsp == 0
+        assert report.lut > 0
+
+    def test_constant_times_constant_is_free(self):
+        module = Module("m")
+        module.add_wire("p", 32)
+        module.add_assign("p", BinOp("*", Const(3, 32), Const(4, 32)))
+        report = estimate_resources(design_with(module))
+        assert report.dsp == 0 and report.lut == 0
+
+
+class TestMemories:
+    def test_small_memory_is_distributed_ram(self):
+        module = Module("m")
+        module.add_memory("buf", 32, 16)  # 512 bits <= threshold
+        report = estimate_resources(design_with(module))
+        assert report.bram == 0
+        assert report.lut > 0
+
+    def test_large_memory_is_bram(self):
+        module = Module("m")
+        module.add_memory("buf", 32, 256)  # 8192 bits > threshold
+        report = estimate_resources(design_with(module))
+        assert report.bram == 1
+
+    def test_explicit_bram_request_honoured(self):
+        module = Module("m")
+        module.add_memory("buf", 32, 16, kind="bram")
+        assert estimate_resources(design_with(module)).bram == 1
+
+    def test_threshold_constant_is_sane(self):
+        assert BRAM_THRESHOLD_BITS < 18 * 1024
+
+    def test_single_port_memory_is_cheaper(self):
+        dual = Module("m1")
+        dual.add_memory("buf", 32, 16, single_port=False)
+        single = Module("m2")
+        single.add_memory("buf", 32, 16, single_port=True)
+        assert (estimate_resources(design_with(single)).lut
+                < estimate_resources(design_with(dual)).lut)
+
+
+class TestHierarchy:
+    def test_instances_are_included_per_instantiation(self):
+        child = Module("child")
+        child.add_port("clk", INPUT, 1)
+        child.add_reg("r", 8)
+        top = Module("top")
+        top.add_port("clk", INPUT, 1)
+        top.add_instance("child", "u0", {"clk": Ref("clk")})
+        top.add_instance("child", "u1", {"clk": Ref("clk")})
+        design = Design(top="top")
+        design.add(top)
+        design.add(child)
+        assert estimate_resources(design).ff == 16
+
+    def test_external_blackbox_costs_nothing(self):
+        top = Module("top")
+        top.add_port("clk", INPUT, 1)
+        top.add_instance("vendor_ip", "u0", {"clk": Ref("clk")})
+        design = Design(top="top")
+        design.add(top)
+        design.add(Module("vendor_ip", external=True))
+        assert estimate_resources(design).ff == 0
+
+    def test_per_module_breakdown(self):
+        child = Module("child")
+        child.add_reg("r", 4)
+        top = Module("top")
+        top.add_reg("r", 2)
+        design = Design(top="top")
+        design.add(top)
+        design.add(child)
+        breakdown = ResourceModel(design).per_module()
+        assert breakdown["child"].ff == 4 and breakdown["top"].ff == 2
+
+    def test_clocked_statement_costs_counted(self):
+        module = Module("m")
+        module.add_wire("a", 16)
+        module.add_reg("r", 16)
+        always = module.add_always()
+        always.body.append(NonBlockingAssign("r", BinOp("+", Ref("a"), Ref("r"))))
+        report = estimate_resources(design_with(module))
+        assert report.lut >= 16 and report.ff == 16

@@ -1,0 +1,143 @@
+"""Tests for the Verilog AST and text emitter."""
+
+import pytest
+
+from repro.verilog import (
+    Assign,
+    BinOp,
+    Const,
+    Design,
+    If,
+    INPUT,
+    MemIndex,
+    Module,
+    NonBlockingAssign,
+    OUTPUT,
+    Ref,
+    Ternary,
+    UnOp,
+    emit_design,
+    emit_expr,
+    emit_module,
+    or_reduce,
+)
+from repro.verilog.naming import SignalNamer, sanitize
+
+
+class TestExpressions:
+    @pytest.mark.parametrize("expr,text", [
+        (Const(5, 8), "8'd5"),
+        (Const(-3, 8), "-8'd3"),
+        (Ref("foo"), "foo"),
+        (BinOp("+", Ref("a"), Const(1, 4)), "(a + 4'd1)"),
+        (UnOp("!", Ref("x")), "(!x)"),
+        (Ternary(Ref("s"), Ref("a"), Ref("b")), "(s ? a : b)"),
+        (MemIndex("mem", Ref("addr")), "mem[addr]"),
+    ])
+    def test_emit_expr(self, expr, text):
+        assert emit_expr(expr) == text
+
+    def test_refs_enumeration(self):
+        expr = Ternary(Ref("s"), BinOp("+", Ref("a"), Ref("b")), MemIndex("m", Ref("i")))
+        assert set(expr.refs()) == {"s", "a", "b", "m", "i"}
+
+    def test_or_reduce(self):
+        assert emit_expr(or_reduce([])) == "1'd0"
+        assert emit_expr(or_reduce([Ref("a")])) == "a"
+        assert emit_expr(or_reduce([Ref("a"), Ref("b")])) == "(a | b)"
+
+
+class TestModuleEmission:
+    def build_counter(self):
+        module = Module("counter")
+        module.add_port("clk", INPUT, 1)
+        module.add_port("rst", INPUT, 1)
+        module.add_port("value", OUTPUT, 8)
+        module.add_reg("count", 8)
+        module.add_assign("value", Ref("count"))
+        always = module.add_always()
+        always.body.append(
+            If(Ref("rst"),
+               [NonBlockingAssign("count", Const(0, 8))],
+               [NonBlockingAssign("count", BinOp("+", Ref("count"), Const(1, 8)))])
+        )
+        return module
+
+    def test_module_text_structure(self):
+        text = emit_module(self.build_counter())
+        assert text.startswith("module counter(clk, rst, value);")
+        assert "input wire clk;" in text
+        assert "output wire [7:0] value;" in text
+        assert "reg [7:0] count" in text
+        assert "always @(posedge clk) begin" in text
+        assert "count <= (count + 8'd1);" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_memory_and_comment_emission(self):
+        module = Module("m")
+        module.add_port("clk", INPUT, 1)
+        module.add_comment("storage")
+        module.add_memory("buf", 32, 64, kind="bram")
+        text = emit_module(module)
+        assert "// storage" in text
+        assert "reg [31:0] buf [0:63];" in text
+
+    def test_instance_emission(self):
+        module = Module("top")
+        module.add_port("clk", INPUT, 1)
+        module.add_instance("child", "u0", {"clk": Ref("clk"), "x": Const(1, 1)})
+        text = emit_module(module)
+        assert "child u0 (" in text
+        assert ".clk(clk)" in text
+
+    def test_design_emission_orders_children_first(self):
+        child = Module("child")
+        child.add_port("clk", INPUT, 1)
+        top = Module("top")
+        top.add_port("clk", INPUT, 1)
+        top.add_instance("child", "u0", {"clk": Ref("clk")})
+        design = Design(top="top")
+        design.add(top)
+        design.add(child)
+        text = emit_design(design)
+        assert text.index("module child") < text.index("module top")
+
+    def test_design_queries(self):
+        design = Design(top="top")
+        top = Module("top")
+        top.add_instance("child", "u0", {})
+        design.add(top)
+        design.add(Module("child"))
+        design.add(Module("orphan"))
+        assert set(design.all_instantiated()) == {"top", "child"}
+        assert design.top_module is top
+
+    def test_signal_width_lookup(self):
+        module = self.build_counter()
+        assert module.signal_width("count") == 8
+        assert module.signal_width("value") == 8
+        assert module.signal_width("nope") is None
+
+    def test_bad_port_direction(self):
+        with pytest.raises(ValueError):
+            Module("m").add_port("x", "inout", 1)
+
+
+class TestNaming:
+    def test_sanitize(self):
+        assert sanitize("a.b c") == "a_b_c"
+        assert sanitize("3x") .startswith("v_")
+        assert sanitize("module") == "module_sig"
+
+    def test_namer_uniques(self):
+        namer = SignalNamer()
+        first = namer.fresh("x")
+        second = namer.fresh("x")
+        assert first == "x" and second == "x_1"
+
+    def test_for_value_is_stable(self):
+        from repro.hir.ops import ConstantOp
+        from repro.ir.types import I32
+        namer = SignalNamer()
+        value = ConstantOp(1, I32).results[0]
+        assert namer.for_value(value) == namer.for_value(value)
