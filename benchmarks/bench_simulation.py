@@ -1,26 +1,38 @@
 """Benchmarks of the simulation substrate (the RTL-simulation substitute).
 
-Not a paper table, but a substrate ablation: how fast the cycle-accurate
-simulator executes the generated designs, and that end-to-end correctness
-holds at benchmark sizes.
+Not a paper table, but a substrate ablation: how fast each simulation engine
+executes the generated designs — the interpreted reference, the compiled
+event-driven engine (cold: includes levelization + code generation; warm:
+compilation amortized), and the batched engine (N stimulus lanes per run) —
+and that end-to-end correctness holds at benchmark sizes.
 """
+
+import os
+import time
 
 import numpy as np
 import pytest
 
 from repro.kernels import build_kernel
 from repro.sim import run_design
+from repro.sim.engine import clear_compile_cache
 from repro.verilog import generate_verilog
+
+#: Single-run speedup the compiled engine must deliver on GEMM (cold compile
+#: included); measured ~4x on the development machine, so 3x leaves margin.
+#: Shared CI runners can lower the bar via REPRO_GEMM_MIN_SPEEDUP.
+GEMM_MIN_SPEEDUP = float(os.environ.get("REPRO_GEMM_MIN_SPEEDUP", "3.0"))
 
 
 @pytest.mark.table("simulation")
+@pytest.mark.parametrize("engine", ["interpreted", "compiled"])
 @pytest.mark.parametrize("kernel,params", [
     ("transpose", {"size": 8}),
     ("stencil_1d", {"size": 32}),
     ("histogram", {"pixels": 64, "bins": 32}),
     ("fifo", {"depth": 64}),
 ], ids=["transpose-8", "stencil-32", "histogram-64", "fifo-64"])
-def test_simulate_generated_design(benchmark, kernel, params):
+def test_simulate_generated_design(benchmark, kernel, params, engine):
     artifacts = build_kernel(kernel, **params)
     design = generate_verilog(artifacts.module, top=artifacts.top).design
     inputs = artifacts.make_inputs(0)
@@ -32,6 +44,7 @@ def test_simulate_generated_design(benchmark, kernel, params):
                       for name, memref_type in artifacts.interfaces.items()},
             scalar_inputs=artifacts.scalar_args,
             drain_cycles=16,
+            engine=engine,
         )
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -43,3 +56,69 @@ def test_simulate_generated_design(benchmark, kernel, params):
         if kernel == "stencil_1d":
             produced, reference = produced[1:], reference[1:]
         assert np.array_equal(produced, reference)
+
+
+@pytest.mark.table("simulation")
+def test_compiled_engine_speedup_on_gemm():
+    """The compiled engine is >= 3x faster than the interpreter on the
+    paper-scale GEMM, even paying elaboration + compilation in-run; a warm
+    second run amortizes compilation entirely."""
+    artifacts = build_kernel("gemm", size=16)
+    clear_compile_cache()
+
+    start = time.perf_counter()
+    interpreted, inputs = artifacts.simulate(seed=0, engine="interpreted")
+    interpreted_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cold, _ = artifacts.simulate(seed=0, engine="compiled")
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm, _ = artifacts.simulate(seed=0, engine="compiled")
+    warm_seconds = time.perf_counter() - start
+
+    assert interpreted.done and cold.done and warm.done
+    assert interpreted.cycles == cold.cycles == warm.cycles
+    expected = artifacts.reference(inputs)["C"]
+    assert np.array_equal(cold.memory_array("C"), expected)
+
+    cold_speedup = interpreted_seconds / cold_seconds
+    warm_speedup = interpreted_seconds / warm_seconds
+    print(f"\nGEMM 16x16 ({interpreted.cycles} cycles): "
+          f"interpreted {interpreted_seconds:.3f}s, "
+          f"compiled cold {cold_seconds:.3f}s ({cold_speedup:.1f}x), "
+          f"warm {warm_seconds:.3f}s ({warm_speedup:.1f}x)")
+    assert cold_speedup >= GEMM_MIN_SPEEDUP, (
+        f"compiled engine only {cold_speedup:.2f}x faster than interpreter "
+        f"(required {GEMM_MIN_SPEEDUP}x)"
+    )
+    assert warm_speedup >= GEMM_MIN_SPEEDUP
+
+
+@pytest.mark.table("simulation")
+def test_batched_engine_amortizes_stimulus_sweep():
+    """Batched lanes beat one interpreted run per stimulus set; every lane
+    still matches the numpy reference exactly."""
+    artifacts = build_kernel("gemm", size=8)
+    seeds = list(range(16))
+
+    start = time.perf_counter()
+    single, inputs = artifacts.simulate(seed=seeds[0], engine="interpreted")
+    interpreted_per_run = time.perf_counter() - start
+    assert np.array_equal(single.memory_array("C"),
+                          artifacts.reference(inputs)["C"])
+
+    start = time.perf_counter()
+    batch, inputs_per_lane = artifacts.simulate_batch(seeds)
+    batched_seconds = time.perf_counter() - start
+    batched_per_run = batched_seconds / len(seeds)
+
+    for lane, lane_inputs in enumerate(inputs_per_lane):
+        expected = artifacts.reference(lane_inputs)["C"]
+        assert np.array_equal(batch.memory_array("C", lane), expected)
+
+    print(f"\nGEMM 8x8 x{len(seeds)} stimuli: interpreted "
+          f"{interpreted_per_run:.3f}s/run, batched {batched_per_run:.3f}s/run "
+          f"({interpreted_per_run / batched_per_run:.1f}x per scenario)")
+    assert batched_per_run < interpreted_per_run

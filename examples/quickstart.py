@@ -75,14 +75,17 @@ def main() -> None:
     # 4. resource estimate.
     print("\nresource estimate:", estimate_resources(result.design))
 
-    # 5. simulate against numpy.
+    # 5. simulate against numpy.  `engine="compiled"` selects the levelized,
+    # event-driven engine; "interpreted" (the default) walks the AST, and
+    # "differential" runs both in lockstep and checks them against each other.
     rng = np.random.default_rng(7)
     matrix = rng.integers(-1000, 1000, size=(SIZE, SIZE))
     in_type = MemrefType((SIZE, SIZE), I32, port="r")
     out_type = MemrefType((SIZE, SIZE), I32, port="w")
     run = run_design(result.design,
                      memories={"Ai": (in_type, matrix),
-                               "Co": (out_type, np.zeros((SIZE, SIZE)))})
+                               "Co": (out_type, np.zeros((SIZE, SIZE)))},
+                     engine="compiled")
     output = run.memory_array("Co")
     print(f"\nsimulated {run.cycles} cycles; "
           f"matches numpy transpose: {np.array_equal(output, matrix.T)}")

@@ -29,6 +29,47 @@ QUICK_TABLE6_PARAMS: Dict[str, Dict[str, int]] = {
 
 
 @dataclass
+class ValidationRow:
+    """Functional validation of one kernel on the selected engine."""
+
+    kernel: str
+    engine: str
+    cycles: int
+    ok: bool
+
+
+def validate_kernels(engine: str = "differential",
+                     params: Optional[Dict[str, Dict[str, int]]] = None,
+                     ) -> Dict[str, ValidationRow]:
+    """Cross-check every kernel's simulated outputs against its reference.
+
+    With the default ``differential`` engine this also compares the compiled
+    engine's trace against the interpreter cycle by cycle, so a pass means
+    both engines agree *and* match the numpy model.
+    """
+    from repro.kernels import build_kernel
+
+    rows: Dict[str, ValidationRow] = {}
+    for kernel, kernel_params in (params or table5.DEFAULT_PARAMS).items():
+        artifacts = build_kernel(kernel, **kernel_params)
+        run, inputs = artifacts.simulate(seed=1, engine=engine)
+        rows[kernel] = ValidationRow(kernel=kernel, engine=engine,
+                                     cycles=run.cycles,
+                                     ok=artifacts.check_outputs(run, inputs))
+    return rows
+
+
+def render_validation(rows: Dict[str, ValidationRow]) -> str:
+    lines = ["Functional validation (simulated vs numpy reference)",
+             f"{'kernel':<14} {'engine':<14} {'cycles':>8}  status"]
+    for row in rows.values():
+        status = "ok" if row.ok else "MISMATCH"
+        lines.append(f"{row.kernel:<14} {row.engine:<14} {row.cycles:>8}  "
+                     f"{status}")
+    return "\n".join(lines)
+
+
+@dataclass
 class EvaluationResults:
     table4: Dict[str, table4.Table4Row] = field(default_factory=dict)
     table5: Dict[str, table5.Table5Row] = field(default_factory=dict)
@@ -36,6 +77,7 @@ class EvaluationResults:
     figure1: Optional[figures.FigureResult] = None
     figure2: Optional[figures.FigureResult] = None
     figure3: Optional[figures.Figure3Result] = None
+    validation: Dict[str, ValidationRow] = field(default_factory=dict)
 
     def render(self) -> str:
         parts = [
@@ -51,29 +93,56 @@ class EvaluationResults:
             "",
             self.figure3.render() if self.figure3 else "",
         ]
+        if self.validation:
+            parts += ["", render_validation(self.validation)]
         return "\n".join(parts)
 
 
-def run_all(quick: bool = False) -> EvaluationResults:
-    """Regenerate every experiment; ``quick`` shrinks problem sizes."""
-    results = EvaluationResults()
-    results.table4 = table4.generate(size=8 if quick else 16)
-    results.table5 = table5.generate(QUICK_TABLE5_PARAMS if quick else None)
-    results.table6 = table6.generate(QUICK_TABLE6_PARAMS if quick else None)
-    results.figure1 = figures.figure1()
-    results.figure2 = figures.figure2()
-    results.figure3 = figures.figure3()
-    return results
+def run_all(quick: bool = False, sim_engine: Optional[str] = None,
+            validate: bool = False) -> EvaluationResults:
+    """Regenerate every experiment; ``quick`` shrinks problem sizes.
+
+    ``sim_engine`` sets the process-wide default simulation engine (e.g.
+    ``"compiled"``) before anything simulates; ``validate`` appends a
+    functional-validation sweep of every kernel to the results.
+    """
+    previous_engine = None
+    if sim_engine is not None:
+        from repro.sim import set_default_engine
+        previous_engine = set_default_engine(sim_engine)
+    try:
+        results = EvaluationResults()
+        results.table4 = table4.generate(size=8 if quick else 16)
+        results.table5 = table5.generate(QUICK_TABLE5_PARAMS if quick else None)
+        results.table6 = table6.generate(QUICK_TABLE6_PARAMS if quick else None)
+        results.figure1 = figures.figure1()
+        results.figure2 = figures.figure2()
+        results.figure3 = figures.figure3()
+        if validate:
+            results.validation = validate_kernels(
+                params=QUICK_TABLE5_PARAMS if quick else None)
+        return results
+    finally:
+        if previous_engine is not None:
+            from repro.sim import set_default_engine
+            set_default_engine(previous_engine)
 
 
 def main() -> None:  # pragma: no cover - manual entry point
     import argparse
 
+    from repro.sim import available_engines
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="use reduced kernel sizes for a fast run")
+    parser.add_argument("--engine", choices=available_engines(), default=None,
+                        help="simulation engine for every simulated experiment")
+    parser.add_argument("--validate", action="store_true",
+                        help="cross-check every kernel against its reference")
     arguments = parser.parse_args()
-    print(run_all(quick=arguments.quick).render())
+    print(run_all(quick=arguments.quick, sim_engine=arguments.engine,
+                  validate=arguments.validate).render())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -541,7 +541,11 @@ class BinaryOp(HIROperation):
         return self.operand(1)
 
     def evaluate(self, lhs: int, rhs: int) -> int:  # pragma: no cover - abstract
-        raise NotImplementedError
+        raise NotImplementedError(
+            f"binary op '{self.name}' ({type(self).__name__}) does not define "
+            "evaluate(); constant folding and simulation need its integer "
+            "semantics"
+        )
 
 
 @register_operation

@@ -26,7 +26,11 @@ class Pass:
         self.statistics: Dict[str, int] = {}
 
     def run(self, module: Operation) -> None:  # pragma: no cover - abstract
-        raise NotImplementedError
+        raise NotImplementedError(
+            f"pass '{self.name}' ({type(self).__name__}) does not override "
+            "Pass.run(); every registered pass must transform or analyse the "
+            "module it is given"
+        )
 
     def record(self, key: str, amount: int = 1) -> None:
         """Increment a named statistic."""

@@ -45,8 +45,83 @@ class KernelArtifacts:
     reference: Optional[Callable[[Dict[str, np.ndarray]], Dict[str, np.ndarray]]] = None
     #: Behavioural models for external (black-box) modules, keyed by name.
     external_models: Dict[str, Callable] = field(default_factory=dict)
+    #: Output name -> leading elements the hardware does not produce (e.g.
+    #: a stencil's window warm-up); comparisons skip them.
+    output_warmup: Dict[str, int] = field(default_factory=dict)
     #: Free-form notes (design decisions, paper correspondence).
     notes: str = ""
+
+    # -- simulation conveniences ------------------------------------------------
+    def check_outputs(self, run, inputs) -> bool:
+        """Did a simulation run reproduce the numpy reference exactly?
+
+        Applies :attr:`output_warmup` so kernel-specific comparison quirks
+        live here rather than in every caller.
+        """
+        if not run.done:
+            return False
+        for name, reference in self.reference(inputs).items():
+            produced = np.asarray(run.memory_array(name))
+            reference = np.asarray(reference)
+            skip = self.output_warmup.get(name, 0)
+            if skip:
+                produced, reference = produced[skip:], reference[skip:]
+            if not np.array_equal(produced, reference):
+                return False
+        return True
+
+    def generate_design(self):
+        """Compile the HIR module to a Verilog design (cached per artifacts,
+        so repeated simulations share one elaboration and compilation)."""
+        design = getattr(self, "_design", None)
+        if design is None:
+            from repro.verilog import generate_verilog  # local: layering
+            design = generate_verilog(self.module, top=self.top).design
+            self._design = design
+        return design
+
+    def simulate(self, seed: int = 0, engine: Optional[str] = None,
+                 drain_cycles: int = 16, max_cycles: int = 100000):
+        """Compile (cached) and simulate one stimulus set.
+
+        Returns ``(run, inputs)`` where ``run`` is the
+        :class:`~repro.sim.testbench.SimulationRun` and ``inputs`` the tensors
+        generated from ``seed`` (feed them to :attr:`reference`).
+        """
+        from repro.sim import run_design  # local: layering
+        inputs = self.make_inputs(seed)
+        run = run_design(
+            self.generate_design(),
+            memories={name: (memref_type, inputs[name])
+                      for name, memref_type in self.interfaces.items()},
+            scalar_inputs=self.scalar_args,
+            external_models=self.external_models or None,
+            drain_cycles=drain_cycles,
+            max_cycles=max_cycles,
+            engine=engine,
+        )
+        return run, inputs
+
+    def simulate_batch(self, seeds, drain_cycles: int = 16,
+                       max_cycles: int = 100000):
+        """Simulate one stimulus lane per seed with the batched engine.
+
+        Returns ``(run, inputs_per_lane)`` where ``run`` is a
+        :class:`~repro.sim.engine.batch.BatchedSimulationRun`.
+        """
+        from repro.sim import run_design_batch  # local: layering
+        inputs_per_lane = [self.make_inputs(seed) for seed in seeds]
+        run = run_design_batch(
+            self.generate_design(),
+            memories={name: (memref_type,
+                             [inputs[name] for inputs in inputs_per_lane])
+                      for name, memref_type in self.interfaces.items()},
+            scalar_inputs=self.scalar_args,
+            external_models=self.external_models or None,
+            drain_cycles=drain_cycles,
+            max_cycles=max_cycles,
+        )
+        return run, inputs_per_lane
 
 
 def default_rng(seed: int) -> np.random.Generator:

@@ -109,6 +109,7 @@ def build(size: int = 64) -> KernelArtifacts:
         hls_function="stencil_1d",
         make_inputs=make_inputs,
         reference=reference,
+        output_warmup={"Bw": 1},
         notes=(f"{size}-element weighted 2-tap stencil with a register window, "
                "pipelined at II=1; out[0] is not produced (window warm-up)"),
     )

@@ -1,5 +1,24 @@
-"""Cycle-accurate simulation of generated designs (RTL-simulation substitute)."""
+"""Cycle-accurate simulation of generated designs (RTL-simulation substitute).
 
+Two execution engines share one API: the interpreted reference simulator and
+the compiled, event-driven engine (``run_design(..., engine="compiled")``);
+:func:`run_design_batch` additionally vectorizes one compiled design over N
+stimulus sets.  See :mod:`repro.sim.engine` for engine selection.
+"""
+
+from repro.sim.engine import (
+    BatchedInterfaceMemory,
+    BatchedSimulationRun,
+    BatchedSimulator,
+    CompiledSimulator,
+    DifferentialSimulator,
+    DivergenceError,
+    available_engines,
+    create_simulator,
+    get_default_engine,
+    run_design_batch,
+    set_default_engine,
+)
 from repro.sim.testbench import (
     InterfaceMemory,
     SimulationRun,
@@ -14,10 +33,21 @@ from repro.sim.verilog_sim import (
 )
 
 __all__ = [
+    "BatchedInterfaceMemory",
+    "BatchedSimulationRun",
+    "BatchedSimulator",
+    "CompiledSimulator",
+    "DifferentialSimulator",
+    "DivergenceError",
     "InterfaceMemory",
     "SimulationRun",
+    "available_engines",
+    "create_simulator",
     "flatten_tensor",
+    "get_default_engine",
     "run_design",
+    "run_design_batch",
+    "set_default_engine",
     "unflatten_tensor",
     "ExternalModel",
     "PipelinedMultiplierModel",

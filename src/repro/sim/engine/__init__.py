@@ -1,0 +1,113 @@
+"""Pluggable simulation engines behind the ``Simulator``/``run_design`` API.
+
+Three engines execute the same elaborated design with the same cycle-level
+semantics:
+
+``interpreted``
+    The original AST-walking :class:`~repro.sim.verilog_sim.Simulator` —
+    simple, the semantic reference.
+``compiled``
+    :class:`~repro.sim.engine.compiled.CompiledSimulator` — levelizes the
+    netlist once, specializes every assignment into generated Python, and
+    re-evaluates only the fanout cone of signals that changed.
+``differential``
+    :class:`~repro.sim.engine.differential.DifferentialSimulator` — runs both
+    of the above in lockstep and raises on the first trace divergence (the
+    cross-checking harness used by the test suite).
+
+The batched engine (:mod:`~repro.sim.engine.batch`) vectorizes N stimulus
+sets over one compiled design; it has its own entry point,
+:func:`~repro.sim.engine.batch.run_design_batch`, because its state is
+per-lane arrays rather than ints.
+
+Select an engine per call (``run_design(..., engine="compiled")``), per
+process (:func:`set_default_engine`) or per environment
+(``REPRO_SIM_ENGINE=compiled``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional
+
+from repro.ir.errors import SimulationError
+from repro.sim.engine.batch import (
+    BatchedInterfaceMemory,
+    BatchedSimulationRun,
+    BatchedSimulator,
+    run_design_batch,
+)
+from repro.sim.engine.cache import clear_compile_cache
+from repro.sim.engine.compiled import CompiledSimulator
+from repro.sim.engine.differential import DifferentialSimulator, DivergenceError
+from repro.sim.engine.levelize import LoweredDesign, lower_design
+from repro.sim.verilog_sim import ExternalModel, Simulator
+from repro.verilog.ast import Design
+
+ENGINES: Dict[str, type] = {
+    "interpreted": Simulator,
+    "compiled": CompiledSimulator,
+    "differential": DifferentialSimulator,
+}
+
+_default_engine = os.environ.get("REPRO_SIM_ENGINE", "interpreted")
+
+
+def available_engines() -> list:
+    """Names accepted by ``run_design(..., engine=...)``."""
+    return sorted(ENGINES)
+
+
+def get_default_engine() -> str:
+    """The engine used when ``engine`` is omitted (env: REPRO_SIM_ENGINE)."""
+    return _default_engine
+
+
+def set_default_engine(name: str) -> str:
+    """Set the process-wide default engine; returns the previous default."""
+    global _default_engine
+    if name not in ENGINES:
+        raise SimulationError(
+            f"unknown simulation engine '{name}'; choose one of "
+            f"{available_engines()}"
+        )
+    previous = _default_engine
+    _default_engine = name
+    return previous
+
+
+def create_simulator(
+    design: Design,
+    top: Optional[str] = None,
+    external_models: Optional[Dict[str, Callable[[], ExternalModel]]] = None,
+    engine: Optional[str] = None,
+):
+    """Instantiate the selected engine for ``design`` (default engine if
+    ``engine`` is None)."""
+    name = engine or get_default_engine()
+    simulator_class = ENGINES.get(name)
+    if simulator_class is None:
+        raise SimulationError(
+            f"unknown simulation engine '{name}'; choose one of "
+            f"{available_engines()}"
+        )
+    return simulator_class(design, top=top, external_models=external_models)
+
+
+__all__ = [
+    "BatchedInterfaceMemory",
+    "BatchedSimulationRun",
+    "BatchedSimulator",
+    "CompiledSimulator",
+    "DifferentialSimulator",
+    "DivergenceError",
+    "ENGINES",
+    "LoweredDesign",
+    "available_engines",
+    "clear_compile_cache",
+    "create_simulator",
+    "get_default_engine",
+    "lower_design",
+    "run_design_batch",
+    "set_default_engine",
+]

@@ -1,0 +1,98 @@
+"""Per-design compilation cache.
+
+Elaboration, levelization and Python code generation are pure functions of
+the design AST (plus the ``top`` override), so their results are shared
+across simulator instances: re-running the same generated design — a
+multi-seed sweep, a batched run after a single run, the differential
+harness's second engine — pays compilation once.  Entries are keyed weakly on
+the :class:`~repro.verilog.ast.Design` object, so a design's artifacts die
+with it.
+
+Designs with external (black-box) models are never cached: their elaboration
+instantiates stateful behavioural models that must stay private to one
+simulator.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim.engine.codegen import (
+    compile_clock,
+    compile_comb,
+    compile_comb_vector,
+)
+from repro.sim.engine.levelize import LoweredDesign, lower_design
+from repro.sim.verilog_sim import _Elaborator, _FlatDesign
+from repro.verilog.ast import Design
+
+# Designs are eq-comparing dataclasses (unhashable), so key on identity and
+# evict via a finalizer when the design object dies.
+_CACHE: dict = {}
+
+
+def _design_entry(design: Design) -> dict:
+    key = id(design)
+    entry = _CACHE.get(key)
+    if entry is None:
+        entry = {}
+        _CACHE[key] = entry
+        weakref.finalize(design, _CACHE.pop, key, None)
+    return entry
+
+
+@dataclass
+class CompiledArtifacts:
+    """Everything shareable between simulators of one (design, top) pair."""
+
+    flat: _FlatDesign
+    lowered: LoweredDesign
+    #: Scalar dialect: per-assignment step functions + clocked step function.
+    step_fns: Optional[List[Callable]] = None
+    clock_fn: Optional[Callable] = None
+    #: Vector dialect: whole-netlist pass + predicated clocked function.
+    comb_vector_fn: Optional[Callable] = None
+    clock_vector_fn: Optional[Callable] = None
+
+
+def _elaborate(design: Design, top: Optional[str],
+               external_models) -> Tuple[_FlatDesign, LoweredDesign]:
+    if top is not None:
+        design = Design(top=top, modules=design.modules)
+    flat = _Elaborator(design, external_models).elaborate()
+    return flat, lower_design(flat)
+
+
+def compiled_artifacts(design: Design, top: Optional[str], external_models,
+                       vector: bool) -> CompiledArtifacts:
+    """Elaborate + compile ``design``, reusing cached artifacts when safe."""
+    cacheable = not external_models
+    artifacts: Optional[CompiledArtifacts] = None
+    if cacheable:
+        per_design = _design_entry(design)
+        artifacts = per_design.get(top)
+    if artifacts is None:
+        flat, lowered = _elaborate(design, top, external_models)
+        artifacts = CompiledArtifacts(flat=flat, lowered=lowered)
+        if cacheable:
+            per_design[top] = artifacts
+    if vector:
+        if artifacts.comb_vector_fn is None:
+            artifacts.comb_vector_fn = compile_comb_vector(artifacts.lowered)
+            artifacts.clock_vector_fn = compile_clock(artifacts.lowered,
+                                                      vector=True)
+    else:
+        if artifacts.step_fns is None:
+            artifacts.step_fns = compile_comb(artifacts.lowered)
+            artifacts.clock_fn = compile_clock(artifacts.lowered, vector=False)
+    return artifacts
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached compilation (mainly for tests and benchmarks)."""
+    _CACHE.clear()
+
+
+__all__ = ["CompiledArtifacts", "clear_compile_cache", "compiled_artifacts"]

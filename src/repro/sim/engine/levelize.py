@@ -1,0 +1,144 @@
+"""Lower a flattened netlist into slot-indexed form for the compiled engines.
+
+The interpreter keeps simulation state in name-keyed dictionaries; the
+compiled engines instead assign every signal a dense integer *slot* and every
+memory a dense *memory index*, so generated step functions can use plain list
+indexing.  :func:`lower_design` performs that lowering once per elaboration:
+
+* allocate slots for every declared wire/register **and** every name the
+  design merely references (undriven references read as 0, exactly like the
+  interpreter's ``signals.get(name, 0)``),
+* precompute the reset value and masking width of each slot,
+* levelize the continuous assignments (via :mod:`repro.verilog.analysis`)
+  and translate the per-name fanout map into slot -> assignment-index lists
+  that the event-driven scheduler consumes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.verilog.analysis import LevelizedNetlist, levelize
+
+
+def _mask_of(width: int) -> int:
+    return (1 << width) - 1
+
+
+@dataclass
+class SlotTable:
+    """Dense signal numbering plus per-slot reset/masking metadata."""
+
+    names: List[str] = field(default_factory=list)
+    slot_of: Dict[str, int] = field(default_factory=dict)
+    reset_values: List[int] = field(default_factory=list)
+
+    def slot(self, name: str) -> int:
+        """Slot of ``name``, allocating a zero-initialised one if unseen."""
+        index = self.slot_of.get(name)
+        if index is None:
+            index = len(self.names)
+            self.slot_of[name] = index
+            self.names.append(name)
+            self.reset_values.append(0)
+        return index
+
+
+@dataclass
+class LoweredDesign:
+    """Everything the compiled engines need, in slot-indexed form."""
+
+    flat: object  # the _FlatDesign this was lowered from
+    slots: SlotTable = field(default_factory=SlotTable)
+    netlist: LevelizedNetlist = field(default_factory=LevelizedNetlist)
+    #: Per ordered assignment: destination slot and bake-in mask.
+    assign_targets: List[int] = field(default_factory=list)
+    assign_masks: List[int] = field(default_factory=list)
+    #: slot -> indices of ordered assignments whose expression reads it.
+    slot_fanout: List[List[int]] = field(default_factory=list)
+    #: slot -> index of the ordered assignment driving it (if any).
+    slot_driver: Dict[int, int] = field(default_factory=dict)
+    #: Memory numbering and metadata.
+    mem_names: List[str] = field(default_factory=list)
+    mem_of: Dict[str, int] = field(default_factory=dict)
+    mem_widths: List[int] = field(default_factory=list)
+    mem_depths: List[int] = field(default_factory=list)
+    #: memory index -> indices of assignments reading it through MemIndex.
+    mem_fanout: List[List[int]] = field(default_factory=list)
+    #: Per clocked NonBlockingAssign target: masking width (interpreter rule).
+    reg_masks: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_assigns(self) -> int:
+        return len(self.netlist.ordered)
+
+    def assign_mask_for(self, target: str) -> int:
+        """The interpreter's continuous-assignment mask: wire width, else
+        register width, else 32 bits."""
+        width = self.flat.wires.get(target)
+        if width is None and target in self.flat.regs:
+            width = self.flat.regs[target][0]
+        return _mask_of(width or 32)
+
+    def reg_mask_for(self, target: str) -> int:
+        """The interpreter's clocked-assignment mask (declared reg width,
+        32 bits for undeclared targets)."""
+        return _mask_of(self.flat.regs.get(target, (32, 0))[0])
+
+
+def lower_design(flat) -> LoweredDesign:
+    """Lower an elaborated ``_FlatDesign`` into slot-indexed form."""
+    lowered = LoweredDesign(flat=flat)
+    slots = lowered.slots
+
+    # Declared state first (register inits override wire zeros, like reset()).
+    for name in flat.wires:
+        slots.slot(name)
+    for name, (width, init) in flat.regs.items():
+        index = slots.slot(name)
+        slots.reset_values[index] = init & _mask_of(width)
+
+    # Memories live in their own namespace, mirroring Simulator.memories.
+    for name, (width, depth) in flat.memories.items():
+        lowered.mem_of[name] = len(lowered.mem_names)
+        lowered.mem_names.append(name)
+        lowered.mem_widths.append(width)
+        lowered.mem_depths.append(depth)
+        lowered.mem_fanout.append([])
+
+    # Levelize the combinational logic and allocate slots for every name the
+    # design references, declared or not.
+    lowered.netlist = levelize(flat.assigns)
+    for assign in lowered.netlist.ordered:
+        slots.slot(assign.target)
+        for dep in assign.expr.refs():
+            if dep not in lowered.mem_of:
+                slots.slot(dep)
+    for stmt in flat.clocked:
+        for name in stmt.reads():
+            if name not in lowered.mem_of:
+                slots.slot(name)
+        for name in stmt.writes():
+            if name not in lowered.mem_of:
+                slots.slot(name)
+
+    for index, assign in enumerate(lowered.netlist.ordered):
+        lowered.assign_targets.append(slots.slot_of[assign.target])
+        lowered.assign_masks.append(lowered.assign_mask_for(assign.target))
+
+    lowered.slot_fanout = [[] for _ in slots.names]
+    for name, readers in lowered.netlist.fanout.items():
+        if name in lowered.mem_of:
+            continue
+        lowered.slot_fanout[slots.slot_of[name]] = list(readers)
+    for name, readers in lowered.netlist.memory_fanout.items():
+        if name in lowered.mem_of:
+            lowered.mem_fanout[lowered.mem_of[name]] = list(readers)
+    for name, driver in lowered.netlist.driver.items():
+        lowered.slot_driver[slots.slot_of[name]] = driver
+
+    return lowered
+
+
+__all__ = ["LoweredDesign", "SlotTable", "lower_design"]

@@ -17,6 +17,7 @@ import numpy as np
 from repro.ir.errors import SimulationError
 from repro.hir.types import MemrefType
 from repro.sim.verilog_sim import ExternalModel, Simulator
+from repro.sim.engine import create_simulator
 from repro.verilog.ast import Design
 
 
@@ -119,13 +120,19 @@ def run_design(
     external_models: Optional[Dict[str, Callable[[], ExternalModel]]] = None,
     max_cycles: int = 100000,
     drain_cycles: int = 4,
+    engine: Optional[str] = None,
 ) -> SimulationRun:
     """Run a generated design from ``start`` until its ``done`` pulse.
 
     ``memories`` maps each memref argument name to ``(MemrefType, initial
     data)``; ``scalar_inputs`` provides values for primitive arguments.
+    ``engine`` selects the simulation engine (``"interpreted"``,
+    ``"compiled"`` or ``"differential"``; default: the process-wide default,
+    see :func:`repro.sim.engine.set_default_engine`).
     """
-    simulator = Simulator(design, top=top, external_models=external_models)
+    simulator = create_simulator(design, top=top,
+                                 external_models=external_models,
+                                 engine=engine)
     interface_memories: Dict[str, InterfaceMemory] = {}
     for name, (memref_type, initial) in (memories or {}).items():
         interface_memories[name] = InterfaceMemory(name, memref_type, initial)

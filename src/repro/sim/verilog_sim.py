@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.ir.errors import SimulationError
+from repro.verilog.analysis import order_assigns
 from repro.verilog.ast import (
     AlwaysFF,
     Assign,
@@ -62,7 +63,11 @@ class ExternalModel:
     """
 
     def clock(self, inputs: Dict[str, int]) -> Dict[str, int]:  # pragma: no cover
-        raise NotImplementedError
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement ExternalModel.clock(); "
+            "behavioural models of black-box modules must compute their "
+            "post-edge outputs from the sampled input-port values"
+        )
 
 
 class PipelinedMultiplierModel(ExternalModel):
@@ -271,7 +276,7 @@ class Simulator:
         self.signals: Dict[str, int] = {}
         self.memories: Dict[str, List[int]] = {}
         self.cycle = 0
-        self._ordered_assigns = self._order_assigns(self.flat.assigns)
+        self._ordered_assigns = order_assigns(self.flat.assigns)
         self.reset()
 
     # -- state management --------------------------------------------------------
@@ -300,34 +305,6 @@ class Simulator:
         return sorted(name for name in self.memories if substring in name)
 
     # -- evaluation ------------------------------------------------------------------
-    def _order_assigns(self, assigns: List[Assign]) -> List[Assign]:
-        """Topologically order continuous assignments by data dependence."""
-        producers: Dict[str, Assign] = {}
-        for assign in assigns:
-            if assign.target in producers:
-                raise SimulationError(
-                    f"signal '{assign.target}' has multiple continuous drivers"
-                )
-            producers[assign.target] = assign
-        ordered: List[Assign] = []
-        state: Dict[str, int] = {}  # 0 unseen, 1 visiting, 2 done
-
-        def visit(target: str, chain: List[str]) -> None:
-            if state.get(target) == 2 or target not in producers:
-                return
-            if state.get(target) == 1:
-                cycle = " -> ".join(chain + [target])
-                raise SimulationError(f"combinational loop: {cycle}")
-            state[target] = 1
-            for dep in producers[target].expr.refs():
-                visit(dep, chain + [target])
-            state[target] = 2
-            ordered.append(producers[target])
-
-        for target in producers:
-            visit(target, [])
-        return ordered
-
     def _eval(self, expr: Expr) -> int:
         if isinstance(expr, Const):
             return _mask(expr.value, expr.width)

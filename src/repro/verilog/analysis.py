@@ -1,0 +1,117 @@
+"""Netlist analyses shared by the simulation engines.
+
+The interpreted simulator and the compiled engine both need the same
+structural facts about a flattened netlist:
+
+* a *topological order* of the continuous assignments (so combinational
+  logic can be evaluated in one forward pass),
+* the *level* of each assignment (its depth in the combinational DAG), and
+* the *fanout map* from each signal (or memory) to the assignments that
+  read it, which is what lets an event-driven scheduler re-evaluate only
+  the cone of logic downstream of a change.
+
+All three are derived once per elaboration from the ``reads()``/``writes()``
+hooks on the Verilog AST and cached in a :class:`LevelizedNetlist`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.ir.errors import SimulationError
+from repro.verilog.ast import Assign, MemIndex, Expr
+
+
+def order_assigns(assigns: Sequence[Assign]) -> List[Assign]:
+    """Topologically order continuous assignments by data dependence.
+
+    Raises :class:`SimulationError` on multiply-driven signals and on
+    combinational loops (with the offending cycle in the message).
+    """
+    producers: Dict[str, Assign] = {}
+    for assign in assigns:
+        if assign.target in producers:
+            raise SimulationError(
+                f"signal '{assign.target}' has multiple continuous drivers"
+            )
+        producers[assign.target] = assign
+    ordered: List[Assign] = []
+    state: Dict[str, int] = {}  # 0 unseen, 1 visiting, 2 done
+
+    def visit(target: str, chain: List[str]) -> None:
+        if state.get(target) == 2 or target not in producers:
+            return
+        if state.get(target) == 1:
+            cycle = " -> ".join(chain + [target])
+            raise SimulationError(f"combinational loop: {cycle}")
+        state[target] = 1
+        for dep in producers[target].expr.refs():
+            visit(dep, chain + [target])
+        state[target] = 2
+        ordered.append(producers[target])
+
+    for target in producers:
+        visit(target, [])
+    return ordered
+
+
+def expr_memories(expr: Expr) -> List[str]:
+    """Names of memories an expression reads through :class:`MemIndex`."""
+    found: List[str] = []
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, MemIndex):
+            found.append(node.memory)
+            walk(node.address)
+            return
+        for attr in ("operand", "lhs", "rhs", "condition", "true_value",
+                     "false_value"):
+            child = getattr(node, attr, None)
+            if child is not None:
+                walk(child)
+
+    walk(expr)
+    return found
+
+
+@dataclass
+class LevelizedNetlist:
+    """Topologically sorted assignments plus fanout metadata."""
+
+    #: Assignments in dependence order (safe to evaluate front to back).
+    ordered: List[Assign] = field(default_factory=list)
+    #: Combinational depth of each ordered assignment (inputs/registers = 0).
+    levels: List[int] = field(default_factory=list)
+    #: signal name -> indices into ``ordered`` of assignments reading it.
+    fanout: Dict[str, List[int]] = field(default_factory=dict)
+    #: memory name -> indices into ``ordered`` of assignments reading it.
+    memory_fanout: Dict[str, List[int]] = field(default_factory=dict)
+    #: signal name -> index into ``ordered`` of its (unique) driver.
+    driver: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def depth(self) -> int:
+        """Length of the longest combinational path, in assignments."""
+        return max(self.levels, default=0)
+
+
+def levelize(assigns: Sequence[Assign]) -> LevelizedNetlist:
+    """Order ``assigns`` topologically and compute fanout/level metadata."""
+    ordered = order_assigns(assigns)
+    netlist = LevelizedNetlist(ordered=ordered)
+    for index, assign in enumerate(ordered):
+        netlist.driver[assign.target] = index
+    for index, assign in enumerate(ordered):
+        level = 0
+        for dep in assign.expr.refs():
+            netlist.fanout.setdefault(dep, []).append(index)
+            producer = netlist.driver.get(dep)
+            if producer is not None:
+                level = max(level, netlist.levels[producer] + 1)
+        for memory in expr_memories(assign.expr):
+            netlist.memory_fanout.setdefault(memory, []).append(index)
+        netlist.levels.append(level)
+    return netlist
+
+

@@ -131,6 +131,14 @@ def or_reduce(terms: Sequence[Expr]) -> Expr:
 class Statement:
     """Base class of sequential statements."""
 
+    def reads(self) -> Iterator[str]:
+        """Names of signals (and memories) this statement may read."""
+        return iter(())
+
+    def writes(self) -> Iterator[str]:
+        """Names of registers (and memories) this statement may write."""
+        return iter(())
+
 
 @dataclass
 class NonBlockingAssign(Statement):
@@ -138,6 +146,12 @@ class NonBlockingAssign(Statement):
 
     target: str
     expr: Expr
+
+    def reads(self) -> Iterator[str]:
+        yield from self.expr.refs()
+
+    def writes(self) -> Iterator[str]:
+        yield self.target
 
 
 @dataclass
@@ -148,6 +162,13 @@ class MemWrite(Statement):
     address: Expr
     data: Expr
 
+    def reads(self) -> Iterator[str]:
+        yield from self.address.refs()
+        yield from self.data.refs()
+
+    def writes(self) -> Iterator[str]:
+        yield self.memory
+
 
 @dataclass
 class If(Statement):
@@ -156,6 +177,19 @@ class If(Statement):
     condition: Expr
     then_body: List[Statement] = field(default_factory=list)
     else_body: List[Statement] = field(default_factory=list)
+
+    def reads(self) -> Iterator[str]:
+        yield from self.condition.refs()
+        for stmt in self.then_body:
+            yield from stmt.reads()
+        for stmt in self.else_body:
+            yield from stmt.reads()
+
+    def writes(self) -> Iterator[str]:
+        for stmt in self.then_body:
+            yield from stmt.writes()
+        for stmt in self.else_body:
+            yield from stmt.writes()
 
 
 @dataclass
@@ -223,6 +257,14 @@ class AlwaysFF:
     """``always @(posedge clk) begin ... end``."""
 
     body: List[Statement] = field(default_factory=list)
+
+    def reads(self) -> Iterator[str]:
+        for stmt in self.body:
+            yield from stmt.reads()
+
+    def writes(self) -> Iterator[str]:
+        for stmt in self.body:
+            yield from stmt.writes()
 
 
 @dataclass
