@@ -69,6 +69,44 @@ def render_validation(rows: Dict[str, ValidationRow]) -> str:
     return "\n".join(lines)
 
 
+def render_compile_timing(quick: bool = False, jobs: int = 1) -> str:
+    """A ``--timing`` breakdown of one representative compile of each flow.
+
+    Shows the HIR pipeline's per-pass report (including verifier time and
+    analysis-cache hits) and the baseline compiler's per-phase seconds plus
+    its DSE counters (design points examined / pruned / memoized /
+    scheduled) on the heaviest kernel, GEMM.
+    """
+    from repro.hls import HLSOptions, compile_program
+    from repro.kernels import build_kernel
+    from repro.passes import optimization_pipeline
+    from repro.verilog import generate_verilog
+
+    size = 4 if quick else 16
+    artifacts = build_kernel("gemm", size=size)
+    manager = optimization_pipeline(verify_each=True)
+    manager.run(artifacts.module)
+    generate_verilog(artifacts.module, top=artifacts.top)
+
+    result = compile_program(artifacts.hls_program, artifacts.hls_function,
+                             options=HLSOptions(jobs=jobs))
+    report = result.report
+    lines = [f"Compile timing breakdown (gemm, size={size}, jobs={jobs})",
+             "",
+             "HIR optimization pipeline:",
+             manager.timing_report(),
+             "",
+             "HLS baseline phases:"]
+    for phase, seconds in report.phase_seconds.items():
+        lines.append(f"{phase:<32} {seconds * 1e3:8.3f} ms")
+    lines.append(
+        f"DSE design points: {report.dse_evaluations} examined, "
+        f"{report.dse_pruned} pruned, {report.dse_memo_hits} memoized, "
+        f"{report.dse_scheduled} scheduled"
+    )
+    return "\n".join(lines)
+
+
 @dataclass
 class EvaluationResults:
     table4: Dict[str, table4.Table4Row] = field(default_factory=dict)
@@ -78,6 +116,7 @@ class EvaluationResults:
     figure2: Optional[figures.FigureResult] = None
     figure3: Optional[figures.Figure3Result] = None
     validation: Dict[str, ValidationRow] = field(default_factory=dict)
+    compile_timing: Optional[str] = None
 
     def render(self) -> str:
         parts = [
@@ -95,16 +134,23 @@ class EvaluationResults:
         ]
         if self.validation:
             parts += ["", render_validation(self.validation)]
+        if self.compile_timing:
+            parts += ["", self.compile_timing]
         return "\n".join(parts)
 
 
 def run_all(quick: bool = False, sim_engine: Optional[str] = None,
-            validate: bool = False) -> EvaluationResults:
+            validate: bool = False, jobs: int = 1,
+            timing: bool = False) -> EvaluationResults:
     """Regenerate every experiment; ``quick`` shrinks problem sizes.
 
     ``sim_engine`` sets the process-wide default simulation engine (e.g.
     ``"compiled"``) before anything simulates; ``validate`` appends a
-    functional-validation sweep of every kernel to the results.
+    functional-validation sweep of every kernel to the results.  ``timing``
+    appends per-pass / per-phase compile-time breakdowns; ``jobs`` sets the
+    fast path's DSE parallelism for that breakdown (results are identical
+    at any job count).  The Table 6 columns themselves are never affected:
+    the baseline there stays frozen at the seed configuration.
     """
     previous_engine = None
     if sim_engine is not None:
@@ -121,6 +167,9 @@ def run_all(quick: bool = False, sim_engine: Optional[str] = None,
         if validate:
             results.validation = validate_kernels(
                 params=QUICK_TABLE5_PARAMS if quick else None)
+        if timing:
+            results.compile_timing = render_compile_timing(quick=quick,
+                                                           jobs=jobs)
         return results
     finally:
         if previous_engine is not None:
@@ -140,9 +189,18 @@ def main() -> None:  # pragma: no cover - manual entry point
                         help="simulation engine for every simulated experiment")
     parser.add_argument("--validate", action="store_true",
                         help="cross-check every kernel against its reference")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel DSE candidate evaluations for the "
+                             "--timing fast-path breakdown (identical "
+                             "results at any job count; Table 6's frozen "
+                             "baseline is never parallelised)")
+    parser.add_argument("--timing", action="store_true",
+                        help="append per-pass / per-phase compile timing "
+                             "breakdowns")
     arguments = parser.parse_args()
     print(run_all(quick=arguments.quick, sim_engine=arguments.engine,
-                  validate=arguments.validate).render())
+                  validate=arguments.validate, jobs=arguments.jobs,
+                  timing=arguments.timing).render())
 
 
 if __name__ == "__main__":  # pragma: no cover

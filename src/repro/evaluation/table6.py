@@ -15,6 +15,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.hls.compiler import compile_program
+from repro.hls.options import HLSOptions
+from repro.hls.scheduling import legacy_scan_mode
 from repro.kernels import build_kernel
 from repro.passes import optimization_pipeline
 from repro.verilog import generate_verilog
@@ -46,23 +48,62 @@ class Table6Row:
         return self.hls_seconds / self.hir_seconds
 
 
-def measure_kernel(name: str, params: Optional[Dict[str, int]] = None) -> Table6Row:
-    """Measure both compilers' wall-clock compile time for one kernel."""
+def measure_kernel(name: str,
+                   params: Optional[Dict[str, int]] = None) -> Table6Row:
+    """Measure both compilers' wall-clock compile time for one kernel.
+
+    The baseline column is a *frozen model* of a commercial HLS tool: it
+    runs the full serial DSE sweep with the seed compiler's behaviour (no
+    pruning, no memoization, no parallelism, the original O(E) dependence
+    scans — :meth:`HLSOptions.seed_equivalent` under
+    :class:`~repro.hls.scheduling.legacy_scan_mode`), because Table 6's
+    claim is about how much work such a tool repeats, not about how fast we
+    made our reimplementation of it.  Deliberately, nothing — including
+    ``runner.py --jobs``, which only drives the ``--timing`` breakdown of
+    the fast path — changes this column.  The engineered fast path of the
+    baseline compiler is benchmarked separately in
+    ``benchmarks/bench_compile_time.py``.
+    """
     params = params if params is not None else DEFAULT_PARAMS[name]
     artifacts = build_kernel(name, **params)
 
-    start = time.perf_counter()
-    optimization_pipeline(verify_each=False).run(artifacts.module)
-    generate_verilog(artifacts.module, top=artifacts.top)
-    hir_seconds = time.perf_counter() - start
+    def measure_hir() -> float:
+        fresh = build_kernel(name, **params)
+        start = time.perf_counter()
+        optimization_pipeline(verify_each=False).run(fresh.module)
+        generate_verilog(fresh.module, top=fresh.top)
+        return time.perf_counter() - start
 
-    start = time.perf_counter()
-    compile_program(artifacts.hls_program, artifacts.hls_function)
-    hls_seconds = time.perf_counter() - start
+    baseline_options = HLSOptions.seed_equivalent()
+
+    def measure_hls() -> float:
+        with legacy_scan_mode():
+            start = time.perf_counter()
+            compile_program(artifacts.hls_program, artifacts.hls_function,
+                            options=baseline_options)
+            return time.perf_counter() - start
+
+    hir_seconds = _best_of(measure_hir)
+    hls_seconds = _best_of(measure_hls)
 
     paper = PAPER_TABLE6[name]
     return Table6Row(name, hir_seconds, hls_seconds, paper["hir_seconds"],
                      paper["hls_seconds"], paper["speedup"])
+
+
+def _best_of(measure, repeats: int = 3, fast_threshold: float = 0.05) -> float:
+    """Best-of-N for sub-``fast_threshold`` measurements.
+
+    Millisecond-scale compiles are dominated by scheduler noise; re-running
+    and keeping the minimum stabilises the table without inflating the cost
+    of the heavyweight (multi-second) measurements, which run once.
+    """
+    best = measure()
+    if best >= fast_threshold:
+        return best
+    for _ in range(repeats - 1):
+        best = min(best, measure())
+    return best
 
 
 def generate(params: Optional[Dict[str, Dict[str, int]]] = None,

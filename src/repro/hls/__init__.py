@@ -8,7 +8,15 @@ from repro.hls.compiler import (
     LoopReport,
     compile_program,
 )
-from repro.hls.dse import Candidate, LoopExploration, collect_innermost_loops, explore_loop
+from repro.hls.dse import (
+    Candidate,
+    LoopExploration,
+    clear_schedule_memo,
+    collect_innermost_loops,
+    explore_loop,
+    schedule_memo_size,
+)
+from repro.hls.options import HLSOptions
 from repro.hls.rtl import LoopRTLInfo, RTLGenerator
 from repro.hls.scheduling import (
     DataflowGraph,
@@ -17,6 +25,7 @@ from repro.hls.scheduling import (
     LoopSchedule,
     asap_schedule,
     alap_schedule,
+    graph_signature,
     list_schedule,
     recurrence_min_ii,
     resource_min_ii,
@@ -43,10 +52,11 @@ from repro.hls.swir import (
 __all__ = [
     "Binder", "BindingResult", "FunctionalUnit", "RegisterAllocation", "bind_loop",
     "HLSCompiler", "HLSReport", "HLSResult", "LoopReport", "compile_program",
-    "Candidate", "LoopExploration", "collect_innermost_loops", "explore_loop",
+    "Candidate", "HLSOptions", "LoopExploration", "clear_schedule_memo",
+    "collect_innermost_loops", "explore_loop", "schedule_memo_size",
     "LoopRTLInfo", "RTLGenerator",
     "DataflowGraph", "DFGBuilder", "DFGNode", "LoopSchedule",
-    "asap_schedule", "alap_schedule", "list_schedule",
+    "asap_schedule", "alap_schedule", "graph_signature", "list_schedule",
     "recurrence_min_ii", "resource_min_ii", "schedule_loop",
     "ARRAY", "Assign", "BinExpr", "For", "Function", "IntConst", "Load",
     "LocalArray", "Param", "Pragmas", "Program", "SCALAR", "Store",

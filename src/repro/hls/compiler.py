@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 from repro.ir.errors import HLSError
 from repro.hls.binding import BindingResult, bind_loop
 from repro.hls.dse import LoopExploration, collect_innermost_loops, explore_loop
+from repro.hls.options import HLSOptions
 from repro.hls.rtl import LoopRTLInfo, RTLGenerator
 from repro.hls.scheduling import DFGBuilder, schedule_loop
 from repro.hls.swir import ARRAY, For, Function, Load, Program, Statement, Store
@@ -50,6 +51,12 @@ class HLSReport:
     loops: List[LoopReport] = field(default_factory=list)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     dse_evaluations: int = 0
+    #: Design points skipped via the DSE cost lower bound.
+    dse_pruned: int = 0
+    #: Design points answered by the scheduling memo cache.
+    dse_memo_hits: int = 0
+    #: Design points that actually ran the scheduler.
+    dse_scheduled: int = 0
     scheduled_operations: int = 0
     bound_registers_bits: int = 0
     rtl_lines: int = 0
@@ -70,8 +77,10 @@ class HLSResult:
 class HLSCompiler:
     """Compile a software-IR program the way an HLS tool would."""
 
-    def __init__(self, dse_enabled: bool = True) -> None:
+    def __init__(self, dse_enabled: bool = True,
+                 options: Optional[HLSOptions] = None) -> None:
         self.dse_enabled = dse_enabled
+        self.options = options if options is not None else HLSOptions()
 
     # -- public API ------------------------------------------------------------
     def compile(self, program: Program, function_name: Optional[str] = None) -> HLSResult:
@@ -137,7 +146,8 @@ class HLSCompiler:
         explorations: List[LoopExploration] = []
         for loop, _depth in loops:
             if self.dse_enabled:
-                explorations.append(explore_loop(loop, array_ports=ports))
+                explorations.append(explore_loop(loop, array_ports=ports,
+                                                 options=self.options))
             else:
                 schedule = schedule_loop(loop.body, pipeline=loop.pragmas.pipeline,
                                          requested_ii=loop.pragmas.initiation_interval,
@@ -155,6 +165,9 @@ class HLSCompiler:
         loops = collect_innermost_loops(function.body)
         ports = self._array_ports(function)
         for (loop, depth), exploration in zip(loops, explorations):
+            report.dse_pruned += exploration.pruned
+            report.dse_memo_hits += exploration.memo_hits
+            report.dse_scheduled += exploration.scheduled
             if exploration.chosen is not None:
                 schedule = exploration.chosen.schedule
                 evaluated = exploration.evaluations
@@ -212,6 +225,8 @@ class HLSCompiler:
 
 
 def compile_program(program: Program, function_name: Optional[str] = None,
-                    dse_enabled: bool = True) -> HLSResult:
+                    dse_enabled: bool = True,
+                    options: Optional[HLSOptions] = None) -> HLSResult:
     """Convenience wrapper around :class:`HLSCompiler`."""
-    return HLSCompiler(dse_enabled=dse_enabled).compile(program, function_name)
+    return HLSCompiler(dse_enabled=dse_enabled,
+                       options=options).compile(program, function_name)

@@ -3,20 +3,60 @@
 Commercial HLS tools spend most of their compile time evaluating candidate
 schedules: different initiation intervals, unroll factors and binding options
 are scheduled and costed before the directive-selected (or best) one is kept.
-This module reproduces that behaviour with real work — every candidate is
-actually scheduled and costed — which is what makes the baseline's compile
-time orders of magnitude larger than HIR code generation (Table 6).
+This module reproduces that behaviour with real work — every surviving
+candidate is actually scheduled and costed — which is what makes the
+baseline's compile time orders of magnitude larger than HIR code generation
+(Table 6).
+
+Fast path (controlled by :class:`~repro.hls.options.HLSOptions`; all three
+mechanisms preserve the chosen schedule and emitted Verilog bit for bit):
+
+* **Memoization.**  Scheduling + binding is a pure function of the design
+  point, so results are cached on a canonical loop signature::
+
+      (DFG hash, pipelined, requested II, relevant array ports)
+
+  where the DFG hash is :func:`repro.hls.scheduling.graph_signature` — a
+  content digest of the unrolled body's dataflow graph (the unroll factor is
+  therefore captured by the hash) — and "relevant" ports are those of arrays
+  the graph actually touches.  Identical design points across port
+  configurations, loops and kernels schedule once; the cache is a bounded
+  LRU (``REPRO_DSE_MEMO_SIZE``, default 512 entries).
+
+* **Pruning.**  Before scheduling a candidate we compute a true lower bound
+  on its cost: the resource-free ASAP latency of its DFG times its requested
+  II (for non-pipelined candidates, times the ASAP latency itself, since the
+  sequential II equals the latency).  Because list scheduling can only
+  *delay* operations relative to ASAP, and the area factor of
+  :attr:`Candidate.cost` is >= 1, the real cost is >= this bound.  A
+  candidate whose bound strictly exceeds the incumbent best can therefore
+  never be selected — neither by lowest cost nor by the directive rule
+  (which minimises (II, cost), and the bound's II component never exceeds
+  the achieved II) — and is skipped without scheduling.
+
+* **Parallelism.**  Surviving candidates are evaluated concurrently with
+  ``concurrent.futures`` (``HLSOptions(jobs=...)`` / ``REPRO_DSE_JOBS``).
+  The reduction is deterministic: results are collected in candidate
+  enumeration order, so ties resolve exactly as in the serial sweep.
 """
 
 from __future__ import annotations
 
+import atexit
+import os
+from collections import OrderedDict
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hls.binding import bind_loop
+from repro.hls.options import HLSOptions
 from repro.hls.scheduling import (
+    DataflowGraph,
     DFGBuilder,
     LoopSchedule,
+    asap_schedule,
+    graph_signature,
     recurrence_min_ii,
     resource_min_ii,
     schedule_loop,
@@ -54,10 +94,66 @@ class LoopExploration:
     loop: For
     candidates: List[Candidate] = field(default_factory=list)
     chosen: Optional[Candidate] = None
+    #: Design points skipped because their cost lower bound could not win.
+    pruned: int = 0
+    #: Design points answered from the scheduling memo cache.
+    memo_hits: int = 0
+    #: Design points that ran the scheduler (cache misses).
+    scheduled: int = 0
 
     @property
     def evaluations(self) -> int:
-        return len(self.candidates)
+        """Design points examined (evaluated or pruned via lower bound)."""
+        return len(self.candidates) + self.pruned
+
+
+# --------------------------------------------------------------------------- #
+# Scheduling memo (bounded LRU keyed on the canonical loop signature)
+# --------------------------------------------------------------------------- #
+
+MemoKey = Tuple[str, bool, int, Tuple[Tuple[str, int], ...]]
+MemoValue = Tuple[LoopSchedule, int, int]  # schedule, registers, memory ops
+
+
+def _memo_capacity() -> int:
+    try:
+        return max(0, int(os.environ.get("REPRO_DSE_MEMO_SIZE", "512")))
+    except ValueError:
+        return 512
+
+
+_SCHEDULE_MEMO: "OrderedDict[MemoKey, MemoValue]" = OrderedDict()
+
+
+def clear_schedule_memo() -> None:
+    """Drop every memoized schedule (tests and benchmarks)."""
+    _SCHEDULE_MEMO.clear()
+
+
+def schedule_memo_size() -> int:
+    return len(_SCHEDULE_MEMO)
+
+
+def _memo_get(key: MemoKey) -> Optional[MemoValue]:
+    value = _SCHEDULE_MEMO.get(key)
+    if value is not None:
+        _SCHEDULE_MEMO.move_to_end(key)
+    return value
+
+
+def _memo_put(key: MemoKey, value: MemoValue) -> None:
+    capacity = _memo_capacity()
+    if capacity == 0:
+        return
+    _SCHEDULE_MEMO[key] = value
+    _SCHEDULE_MEMO.move_to_end(key)
+    while len(_SCHEDULE_MEMO) > capacity:
+        _SCHEDULE_MEMO.popitem(last=False)
+
+
+# --------------------------------------------------------------------------- #
+# Candidate enumeration and evaluation
+# --------------------------------------------------------------------------- #
 
 
 def _unrolled_body(body: Sequence[Statement], loop_var: str,
@@ -73,53 +169,366 @@ def _unrolled_body(body: Sequence[Statement], loop_var: str,
     return replicated
 
 
-def explore_loop(loop: For,
-                 array_ports: Optional[Dict[str, int]] = None) -> LoopExploration:
-    """Schedule, bind and cost every candidate design point for one loop."""
-    exploration = LoopExploration(loop)
+@dataclass
+class _Spec:
+    """One design point to evaluate, in seed enumeration order."""
+
+    order: int
+    unroll: int
+    requested_ii: int          # 0 = sequential sentinel
+    pipelined: bool
+    ports: Dict[str, int]
+    body: List[Statement]
+    #: None when graph sharing is disabled (seed-faithful mode): the
+    #: scheduler then rebuilds the graph per design point, as the seed did.
+    graph: Optional[DataflowGraph]
+    digest: str
+    lb_latency: int
+    #: Shared per-(unroll, ports) II attempt cache; see schedule_loop.
+    attempt_cache: Optional[Dict[int, object]] = None
+
+    @property
+    def lb_cost(self) -> float:
+        """True lower bound on the candidate's area-delay cost."""
+        lb_ii = self.requested_ii if self.pipelined else self.lb_latency
+        return float(self.lb_latency * max(1, lb_ii))
+
+    def memo_key(self) -> MemoKey:
+        assert self.graph is not None, "memoization requires shared graphs"
+        arrays = {node.array for node in self.graph.nodes if node.array}
+        ports = tuple(sorted((array, self.ports.get(array, 1))
+                             for array in arrays))
+        return (self.digest, self.pipelined, self.requested_ii, ports)
+
+
+def _asap_latency(graph: DataflowGraph) -> int:
+    start = asap_schedule(graph)
+    return max((start[n.index] + max(n.latency, 1) for n in graph.nodes),
+               default=1)
+
+
+def _evaluate_point(body: List[Statement], pipelined: bool, requested_ii: int,
+                    ports: Dict[str, int],
+                    graph: Optional[DataflowGraph],
+                    attempt_cache: Optional[Dict[int, object]] = None
+                    ) -> MemoValue:
+    """Schedule + bind one design point (runs in worker threads/processes)."""
+    schedule = schedule_loop(body, pipeline=pipelined,
+                             requested_ii=requested_ii if pipelined else None,
+                             array_ports=ports, graph=graph,
+                             attempt_cache=attempt_cache)
+    binding = bind_loop(schedule)
+    registers = binding.total_register_bits // 32 + 1
+    memory_ops = sum(
+        1 for node in schedule.graph.nodes if node.kind in ("load", "store")
+    )
+    return schedule, registers, memory_ops
+
+
+def _evaluate_point_slim(body: List[Statement], pipelined: bool,
+                         requested_ii: int, ports: Dict[str, int],
+                         legacy_scans: bool = False) -> tuple:
+    """Process-pool worker: rebuild the (deterministic) graph locally and
+    return only the schedule's scalars, not the graph — the parent already
+    holds an identical graph, and pickling a full LoopSchedule back through
+    the pipe costs more than the scheduling itself on small candidates.
+
+    ``legacy_scans`` carries the parent's :data:`scheduling.LEGACY_SCANS`
+    across the process boundary: cached worker processes fork once, so the
+    parent's later toggles would otherwise never reach them (in either
+    direction).  Workers run one task at a time, so scoping the global
+    around the call is safe.
+    """
+    import repro.hls.scheduling as scheduling_module
+
+    saved = scheduling_module.LEGACY_SCANS
+    scheduling_module.LEGACY_SCANS = legacy_scans
+    try:
+        schedule, registers, memory_ops = _evaluate_point(
+            body, pipelined, requested_ii, ports, graph=None)
+    finally:
+        scheduling_module.LEGACY_SCANS = saved
+    return (schedule.start_cycle, schedule.latency,
+            schedule.initiation_interval, schedule.pipelined,
+            schedule.attempts, registers, memory_ops)
+
+
+def _inflate_slim(spec: "_Spec", slim: tuple) -> MemoValue:
+    start, latency, ii, pipelined, attempts, registers, memory_ops = slim
+    graph = spec.graph if spec.graph is not None else DFGBuilder().build(spec.body)
+    schedule = LoopSchedule(graph, start, latency, ii, pipelined, attempts)
+    return schedule, registers, memory_ops
+
+
+def _make_candidate(spec: _Spec, value: MemoValue) -> Candidate:
+    schedule, registers, memory_ops = value
+    return Candidate(schedule.initiation_interval, spec.unroll,
+                     schedule.latency, registers, memory_ops, schedule)
+
+
+def _enumerate_specs(loop: For, array_ports: Optional[Dict[str, int]],
+                     options: Optional[HLSOptions] = None) -> List[_Spec]:
+    """Candidate design points in exactly the seed compiler's sweep order."""
+    options = options if options is not None else HLSOptions()
     pragmas = loop.pragmas
-    unroll_options: Tuple[int, ...]
     if pragmas.unroll_factor > 1:
-        unroll_options = (pragmas.unroll_factor,)
+        unroll_options: Tuple[int, ...] = (pragmas.unroll_factor,)
     elif pragmas.pipeline:
         unroll_options = (1,)
     else:
         unroll_options = UNROLL_CANDIDATES
 
+    specs: List[_Spec] = []
     port_configs = (1, 2, 4)  # single-port, dual-port, 2x-banked dual-port
     for unroll in unroll_options:
-      for port_scale in port_configs:
-        scaled_ports = {name: ports * port_scale
-                        for name, ports in (array_ports or {}).items()}
-        body = _unrolled_body(loop.body, loop.var, unroll, loop.step)
-        graph = DFGBuilder().build(body)
-        min_ii = max(resource_min_ii(graph, scaled_ports), recurrence_min_ii(graph))
-        if pragmas.pipeline:
-            requested = pragmas.initiation_interval or min_ii
-            ii_candidates = range(max(min_ii, requested),
-                                  max(min_ii, requested) + II_SEARCH_WINDOW)
-        else:
-            ii_candidates = [0]  # sentinel: sequential schedule
-        for ii in ii_candidates:
-            pipelined = pragmas.pipeline and ii > 0
-            schedule = schedule_loop(body, pipeline=pipelined,
-                                     requested_ii=ii if pipelined else None,
-                                     array_ports=scaled_ports)
-            # Each candidate is bound as well: register lifetimes and
-            # functional-unit sharing feed the area side of the cost ranking,
-            # exactly the work a commercial tool repeats per design point.
-            binding = bind_loop(schedule)
-            registers = binding.total_register_bits // 32 + 1
-            memory_ops = sum(
-                1 for node in schedule.graph.nodes if node.kind in ("load", "store")
-            )
-            exploration.candidates.append(
-                Candidate(schedule.initiation_interval, unroll, schedule.latency,
-                          registers, memory_ops, schedule)
-            )
+        shared_body: Optional[List[Statement]] = None
+        shared_graph: Optional[DataflowGraph] = None
+        digest = ""
+        lb_latency = 0
+        if options.reuse_graphs:
+            shared_body = _unrolled_body(loop.body, loop.var, unroll, loop.step)
+            shared_graph = DFGBuilder().build(shared_body)
+            if options.memoize:
+                digest = graph_signature(shared_graph)
+            if options.prune:
+                lb_latency = _asap_latency(shared_graph)
+        for port_scale in port_configs:
+            scaled_ports = {name: ports * port_scale
+                            for name, ports in (array_ports or {}).items()}
+            if options.reuse_graphs:
+                body, graph = shared_body, shared_graph
+                min_ii_graph = shared_graph
+            else:
+                # Seed-faithful: rebuild the body and graph per port config
+                # (and let schedule_loop rebuild again per design point).
+                body = _unrolled_body(loop.body, loop.var, unroll, loop.step)
+                min_ii_graph = DFGBuilder().build(body)
+                graph = None
+            min_ii = max(resource_min_ii(min_ii_graph, scaled_ports),
+                         recurrence_min_ii(min_ii_graph))
+            if pragmas.pipeline:
+                requested = pragmas.initiation_interval or min_ii
+                ii_candidates = range(max(min_ii, requested),
+                                      max(min_ii, requested) + II_SEARCH_WINDOW)
+            else:
+                ii_candidates = [0]  # sentinel: sequential schedule
+            attempt_cache: Dict[int, object] = {}
+            for ii in ii_candidates:
+                pipelined = pragmas.pipeline and ii > 0
+                specs.append(_Spec(len(specs), unroll, ii, pipelined,
+                                   scaled_ports, body, graph, digest,
+                                   lb_latency, attempt_cache))
+    return specs
 
+
+# --------------------------------------------------------------------------- #
+# Incumbent tracking and pruning
+# --------------------------------------------------------------------------- #
+
+
+class _Incumbent:
+    """Tracks the best evaluated candidate under the selection rule in use.
+
+    ``directive`` mode mirrors :func:`_select`'s pragma branch (minimise
+    (II, cost)); otherwise candidates compete on cost alone.  ``can_prune``
+    is deliberately *strict*: a candidate is only skipped when its lower
+    bound makes winning impossible, including tie-breaks, so pruning never
+    changes which candidate ``_select`` returns.
+    """
+
+    def __init__(self, directive: bool) -> None:
+        self.directive = directive
+        self.best_cost: Optional[float] = None
+        self.best_ii: Optional[int] = None
+
+    def observe(self, candidate: Candidate) -> None:
+        cost = candidate.cost
+        ii = candidate.initiation_interval
+        if self.best_cost is None:
+            self.best_cost, self.best_ii = cost, ii
+            return
+        if self.directive:
+            if (ii, cost) < (self.best_ii, self.best_cost):
+                self.best_cost, self.best_ii = cost, ii
+        elif cost < self.best_cost:
+            self.best_cost, self.best_ii = cost, ii
+
+    def can_prune(self, spec: _Spec) -> bool:
+        if self.best_cost is None:
+            return False
+        if self.directive:
+            # The achieved II is >= the requested II, so comparing the
+            # requested II against the incumbent's achieved II is a bound.
+            if spec.requested_ii > self.best_ii:
+                return True
+            if spec.requested_ii == self.best_ii:
+                return spec.lb_cost > self.best_cost
+            return False
+        return spec.lb_cost > self.best_cost
+
+
+def _evaluate_spec(spec: _Spec, exploration: LoopExploration,
+                   memoize: bool) -> Candidate:
+    memoize = memoize and spec.graph is not None
+    key = spec.memo_key() if memoize else None
+    value = _memo_get(key) if memoize else None
+    if value is not None:
+        exploration.memo_hits += 1
+    else:
+        value = _evaluate_point(spec.body, spec.pipelined, spec.requested_ii,
+                                spec.ports, spec.graph,
+                                spec.attempt_cache if memoize else None)
+        exploration.scheduled += 1
+        if memoize:
+            _memo_put(key, value)
+    return _make_candidate(spec, value)
+
+
+def explore_loop(loop: For,
+                 array_ports: Optional[Dict[str, int]] = None,
+                 options: Optional[HLSOptions] = None) -> LoopExploration:
+    """Schedule, bind and cost every candidate design point for one loop."""
+    options = options if options is not None else HLSOptions()
+    exploration = LoopExploration(loop)
+    pragmas = loop.pragmas
+    specs = _enumerate_specs(loop, array_ports, options)
+    directive = bool(pragmas.pipeline and pragmas.initiation_interval is not None)
+    incumbent = _Incumbent(directive)
+
+    if options.jobs > 1 and len(specs) > 1:
+        self_candidates = _explore_parallel(specs, exploration, incumbent,
+                                            options)
+    else:
+        self_candidates = _explore_serial(specs, exploration, incumbent,
+                                          options)
+    exploration.candidates = self_candidates
     exploration.chosen = _select(exploration.candidates, pragmas)
     return exploration
+
+
+def _explore_serial(specs: List[_Spec], exploration: LoopExploration,
+                    incumbent: _Incumbent,
+                    options: HLSOptions) -> List[Candidate]:
+    candidates: List[Candidate] = []
+    for spec in specs:
+        if options.prune and incumbent.can_prune(spec):
+            exploration.pruned += 1
+            continue
+        candidate = _evaluate_spec(spec, exploration, options.memoize)
+        candidates.append(candidate)
+        incumbent.observe(candidate)
+    return candidates
+
+
+def _explore_parallel(specs: List[_Spec], exploration: LoopExploration,
+                      incumbent: _Incumbent,
+                      options: HLSOptions) -> List[Candidate]:
+    """Parallel sweep with a deterministic, order-preserving reduction.
+
+    One seed candidate — the one whose lower bound is most promising under
+    the selection rule — is evaluated first to establish the incumbent; the
+    surviving specs then run concurrently and are reduced in enumeration
+    order, so the candidate list (and every tie-break in :func:`_select`)
+    matches the serial sweep.
+    """
+    if incumbent.directive:
+        seed = min(specs, key=lambda s: (s.requested_ii, s.lb_cost, s.order))
+    else:
+        seed = min(specs, key=lambda s: (s.lb_cost, s.order))
+    seed_candidate = _evaluate_spec(seed, exploration, options.memoize)
+    incumbent.observe(seed_candidate)
+
+    survivors: List[_Spec] = []
+    for spec in specs:
+        if spec.order == seed.order:
+            continue
+        if options.prune and incumbent.can_prune(spec):
+            exploration.pruned += 1
+            continue
+        survivors.append(spec)
+
+    results: Dict[int, Candidate] = {seed.order: seed_candidate}
+    pending: List[_Spec] = []
+    #: Specs whose memo key is already being computed by an earlier pending
+    #: spec: they share that result (and count as memo hits, matching the
+    #: serial sweep's counters) instead of scheduling the point twice.
+    duplicates: Dict[int, int] = {}
+    in_flight: Dict[MemoKey, int] = {}
+    for spec in survivors:
+        if options.memoize and spec.graph is not None:
+            key = spec.memo_key()
+            value = _memo_get(key)
+            if value is not None:
+                exploration.memo_hits += 1
+                results[spec.order] = _make_candidate(spec, value)
+                continue
+            first_order = in_flight.get(key)
+            if first_order is not None:
+                duplicates[spec.order] = first_order
+                continue
+            in_flight[key] = spec.order
+        pending.append(spec)
+
+    if pending:
+        executor = _get_executor(options.executor, options.jobs)
+        use_processes = options.executor == "process"
+        if use_processes:
+            from repro.hls.scheduling import LEGACY_SCANS
+
+            futures = [
+                executor.submit(_evaluate_point_slim, spec.body,
+                                spec.pipelined, spec.requested_ii, spec.ports,
+                                LEGACY_SCANS)
+                for spec in pending
+            ]
+        else:
+            futures = [
+                executor.submit(_evaluate_point, spec.body, spec.pipelined,
+                                spec.requested_ii, spec.ports, spec.graph,
+                                spec.attempt_cache if options.memoize else None)
+                for spec in pending
+            ]
+        values: Dict[int, MemoValue] = {}
+        for spec, future in zip(pending, futures):
+            value = (_inflate_slim(spec, future.result()) if use_processes
+                     else future.result())
+            exploration.scheduled += 1
+            if options.memoize and spec.graph is not None:
+                _memo_put(spec.memo_key(), value)
+            values[spec.order] = value
+            results[spec.order] = _make_candidate(spec, value)
+        by_order = {spec.order: spec for spec in survivors}
+        for dup_order, first_order in duplicates.items():
+            exploration.memo_hits += 1
+            results[dup_order] = _make_candidate(by_order[dup_order],
+                                                 values[first_order])
+
+    return [results[order] for order in sorted(results)]
+
+
+# Worker pools are reused across explore_loop calls: a compile sweeps many
+# loops, and paying pool start-up per loop would swamp the win.
+_EXECUTORS: Dict[Tuple[str, int], Executor] = {}
+
+
+def _get_executor(kind: str, jobs: int) -> Executor:
+    executor = _EXECUTORS.get((kind, jobs))
+    if executor is None:
+        executor_cls = (ProcessPoolExecutor if kind == "process"
+                        else ThreadPoolExecutor)
+        executor = executor_cls(max_workers=jobs)
+        _EXECUTORS[(kind, jobs)] = executor
+    return executor
+
+
+def shutdown_executors() -> None:
+    """Tear down the cached DSE worker pools (also runs at exit)."""
+    for executor in _EXECUTORS.values():
+        executor.shutdown(wait=True)
+    _EXECUTORS.clear()
+
+
+atexit.register(shutdown_executors)
 
 
 def _select(candidates: List[Candidate], pragmas) -> Candidate:

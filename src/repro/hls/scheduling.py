@@ -20,6 +20,7 @@ scheduling dominates a real HLS tool's runtime.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -59,6 +60,25 @@ CHAIN_LIMIT = 2
 READ_PORTS_PER_ARRAY = 1
 WRITE_PORTS_PER_ARRAY = 1
 
+#: When True, successors()/predecessors() answer with the seed's O(E) edge
+#: scans instead of cached adjacency lists.  Only compile-time benchmarks
+#: flip this (via :func:`legacy_scan_mode`) to measure the fast path against
+#: the true seed behaviour; results are identical either way.
+LEGACY_SCANS = False
+
+
+class legacy_scan_mode:
+    """Context manager restoring the seed's O(E) dependence scans."""
+
+    def __enter__(self) -> None:
+        global LEGACY_SCANS
+        self._saved = LEGACY_SCANS
+        LEGACY_SCANS = True
+
+    def __exit__(self, *exc) -> None:
+        global LEGACY_SCANS
+        LEGACY_SCANS = self._saved
+
 
 @dataclass
 class DFGNode:
@@ -88,12 +108,37 @@ class DataflowGraph:
     nodes: List[DFGNode] = field(default_factory=list)
     #: Edges as (producer index, consumer index, loop-carried distance).
     edges: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: Lazily built adjacency lists.  The seed implementation answered every
+    #: successors()/predecessors() query with an O(E) scan, which dominated
+    #: DSE compile time (list scheduling asks per node, per candidate).
+    _succ: Optional[List[List[Tuple[int, int]]]] = field(
+        default=None, repr=False, compare=False)
+    _pred: Optional[List[List[Tuple[int, int]]]] = field(
+        default=None, repr=False, compare=False)
+    _adj_shape: Tuple[int, int] = field(default=(-1, -1), repr=False,
+                                        compare=False)
+
+    def _ensure_adjacency(self) -> None:
+        shape = (len(self.nodes), len(self.edges))
+        if self._succ is None or self._adj_shape != shape:
+            succ: List[List[Tuple[int, int]]] = [[] for _ in self.nodes]
+            pred: List[List[Tuple[int, int]]] = [[] for _ in self.nodes]
+            for src, dst, dist in self.edges:
+                succ[src].append((dst, dist))
+                pred[dst].append((src, dist))
+            self._succ, self._pred, self._adj_shape = succ, pred, shape
 
     def successors(self, index: int) -> List[Tuple[int, int]]:
-        return [(dst, dist) for src, dst, dist in self.edges if src == index]
+        if LEGACY_SCANS:
+            return [(dst, dist) for src, dst, dist in self.edges if src == index]
+        self._ensure_adjacency()
+        return self._succ[index]
 
     def predecessors(self, index: int) -> List[Tuple[int, int]]:
-        return [(src, dist) for src, dst, dist in self.edges if dst == index]
+        if LEGACY_SCANS:
+            return [(src, dist) for src, dst, dist in self.edges if dst == index]
+        self._ensure_adjacency()
+        return self._pred[index]
 
 
 @dataclass
@@ -251,6 +296,26 @@ class DFGBuilder:
             producer = self._last_def.get(name)
             if producer is not None:
                 self.graph.edges.append((producer, reader, 1))
+
+
+def graph_signature(graph: DataflowGraph) -> str:
+    """A canonical content digest of a dataflow graph.
+
+    Two graphs with equal signatures are structurally identical — same node
+    kinds, value names, widths, array accesses, subscript/value expressions
+    and dependence edges — so a schedule (and binding) computed for one is
+    valid, bit for bit, for the other.  This is the "DFG hash" component of
+    the DSE memoization key (:mod:`repro.hls.dse`).
+    """
+    parts = []
+    for node in graph.nodes:
+        parts.append((
+            node.kind, node.result, tuple(node.reads), node.array,
+            tuple(repr(s) for s in node.subscripts), repr(node.expr),
+            node.width, node.statement_index, tuple(node.operand_names),
+        ))
+    payload = repr((parts, graph.edges)).encode()
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
 
 
 def _same_subscripts(a: DFGNode, b: DFGNode) -> bool:
@@ -429,9 +494,25 @@ def recurrence_min_ii(graph: DataflowGraph) -> int:
 def schedule_loop(statements: Sequence[Statement], pipeline: bool,
                   requested_ii: Optional[int] = None,
                   max_ii: int = 64,
-                  array_ports: Optional[Dict[str, int]] = None) -> LoopSchedule:
-    """Schedule one loop body, searching for the best II when pipelining."""
-    graph = DFGBuilder().build(statements)
+                  array_ports: Optional[Dict[str, int]] = None,
+                  graph: Optional[DataflowGraph] = None,
+                  attempt_cache: Optional[Dict[int, Optional[Dict[int, int]]]]
+                  = None) -> LoopSchedule:
+    """Schedule one loop body, searching for the best II when pipelining.
+
+    ``graph`` may supply a pre-built dataflow graph of ``statements`` so DSE
+    sweeps do not rebuild (and re-analyse) the same graph once per candidate
+    II; the builder is deterministic, so passing it is purely a time saver.
+
+    ``attempt_cache`` maps a candidate II to its list-scheduling outcome
+    (the start-cycle map, or None when infeasible) for *this* graph and port
+    configuration.  A DSE sweep shares one cache across its II window, so
+    overlapping internal searches — candidate II ``r`` and ``r+1`` both
+    probing ``r+1, r+2, ...`` — run each probe once.  List scheduling is
+    deterministic, so cached and fresh outcomes are identical.
+    """
+    if graph is None:
+        graph = DFGBuilder().build(statements)
     attempts = 0
     if pipeline:
         lower = max(resource_min_ii(graph, array_ports), recurrence_min_ii(graph))
@@ -439,7 +520,12 @@ def schedule_loop(statements: Sequence[Statement], pipeline: bool,
             lower = max(lower, requested_ii)
         for ii in range(lower, max_ii + 1):
             attempts += 1
-            start = list_schedule(graph, modulo=ii, array_ports=array_ports)
+            if attempt_cache is not None and ii in attempt_cache:
+                start = attempt_cache[ii]
+            else:
+                start = list_schedule(graph, modulo=ii, array_ports=array_ports)
+                if attempt_cache is not None:
+                    attempt_cache[ii] = start
             if start is not None:
                 latency = _latency_of(graph, start)
                 return LoopSchedule(graph, start, latency, ii, True, attempts)

@@ -19,6 +19,15 @@ from repro.ir.attributes import (
     int_of,
     ints_of,
 )
+from repro.ir.analysis import (
+    AnalysisManager,
+    DefUseInfo,
+    LevelizationInfo,
+    LoopInfo,
+    PRESERVE_ALL,
+    register_analysis,
+    registered_analyses,
+)
 from repro.ir.block import Block
 from repro.ir.builder import Builder, InsertionPoint
 from repro.ir.errors import (
@@ -43,6 +52,7 @@ from repro.ir.pass_manager import Pass, PassManager, PassTiming
 from repro.ir.parser import parse_module, register_dialect_type_parser
 from repro.ir.printer import print_module, print_op
 from repro.ir.region import Region
+from repro.ir.rewriter import PatternRewriter, RewritePattern, apply_patterns
 from repro.ir.types import (
     F32,
     F64,
@@ -65,9 +75,12 @@ from repro.ir.values import BlockArgument, OpResult, Use, Value
 from repro.ir.verifier import Verifier, collect_errors, verify
 
 __all__ = [
+    "AnalysisManager", "DefUseInfo", "LevelizationInfo", "LoopInfo",
+    "PRESERVE_ALL", "register_analysis", "registered_analyses",
     "ArrayAttr", "Attribute", "BoolAttr", "FloatAttr", "IntegerAttr",
     "StringAttr", "SymbolRefAttr", "TypeAttr", "attr", "int_of", "ints_of",
     "Block", "Builder", "InsertionPoint",
+    "PatternRewriter", "RewritePattern", "apply_patterns",
     "HLSError", "IRError", "LoweringError", "ParseError", "ScheduleError",
     "SimulationError", "VerificationError",
     "Location", "ModuleOp",

@@ -3,6 +3,10 @@
 Just like MLIR, attributes are immutable and attached to operations in a
 string-keyed dictionary.  The HIR dialect uses them for loop bounds on
 ``unroll_for``, delays on function signatures, memref packing, etc.
+
+Like types, attributes are interned (hash-consed): constructing an attribute
+equal to an existing one returns the canonical instance, so attribute
+equality is identity and per-use allocation disappears from the compile path.
 """
 
 from __future__ import annotations
@@ -10,15 +14,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple, Union
 
+from repro.ir.interning import HashConsMeta
 from repro.ir.types import Type
 
 
 @dataclass(frozen=True)
-class Attribute:
+class Attribute(metaclass=HashConsMeta):
     """Base class of every attribute."""
 
     def __str__(self) -> str:  # pragma: no cover - subclasses override
         return "<attr>"
+
+    def __copy__(self) -> "Attribute":
+        return self
+
+    def __deepcopy__(self, memo) -> "Attribute":
+        return self
 
 
 @dataclass(frozen=True)
@@ -36,6 +47,10 @@ class IntegerAttr(Attribute):
 
 @dataclass(frozen=True)
 class FloatAttr(Attribute):
+    #: Not interned: 0.0 and -0.0 compare equal but must print differently,
+    #: so hash-consing would make the surviving spelling order-dependent.
+    INTERN_EXEMPT = True
+
     value: float
     type: Type | None = None
 

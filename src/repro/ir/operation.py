@@ -43,6 +43,8 @@ class Operation:
         self.parent_block: Optional[Block] = None
         self._operands: List[Value] = []
         self.attributes: Dict[str, Attribute] = {}
+        #: Cached structural signature for CSE; invalidated on mutation.
+        self._cse_signature: Optional[tuple] = None
         self.results: List[OpResult] = [
             OpResult(self, i, t) for i, t in enumerate(result_types)
         ]
@@ -64,12 +66,14 @@ class Operation:
         index = len(self._operands)
         self._operands.append(value)
         value._add_use(Use(self, index))
+        self._cse_signature = None
 
     def set_operand(self, index: int, value: Value) -> None:
         old = self._operands[index]
         old._remove_use(self, index)
         self._operands[index] = value
         value._add_use(Use(self, index))
+        self._cse_signature = None
 
     def operand(self, index: int) -> Value:
         return self._operands[index]
@@ -110,9 +114,40 @@ class Operation:
 
     def set_attr(self, key: str, value: AttributeValue) -> None:
         self.attributes[key] = attr(value)
+        self._cse_signature = None
 
     def has_attr(self, key: str) -> bool:
         return key in self.attributes
+
+    # -- CSE signature --------------------------------------------------------
+    def _invalidate_signature(self) -> None:
+        self._cse_signature = None
+
+    def cse_signature(self) -> tuple:
+        """Hashable structural signature: two pure ops with equal signatures
+        compute the same value.
+
+        Operands are compared by identity (SSA values), attributes and result
+        types by their interned objects.  The signature is cached and
+        invalidated whenever operands, attributes or result types change, so
+        repeated CSE/pipeline runs do not recompute it.
+        """
+        signature = self._cse_signature
+        if signature is None:
+            operand_ids = tuple(id(operand) for operand in self._operands)
+            if getattr(self, "COMMUTATIVE", False):
+                operand_ids = tuple(sorted(operand_ids))
+            signature = (
+                self.name,
+                operand_ids,
+                # Attributes compare by printed form, not ==: floats 0.0 and
+                # -0.0 are == but print differently and must not CSE-merge.
+                # The str() cost is paid once per op thanks to the cache.
+                tuple(sorted((k, str(v)) for k, v in self.attributes.items())),
+                tuple(r.type for r in self.results),
+            )
+            self._cse_signature = signature
+        return signature
 
     # -- regions ---------------------------------------------------------------
     def region(self, index: int = 0) -> Region:
@@ -167,27 +202,37 @@ class Operation:
             self.parent_block.remove(self)
 
     def clone(self, value_map: Optional[Dict[Value, Value]] = None) -> "Operation":
-        """Deep-copy this operation (and nested regions).
+        """Deep-copy this operation (and nested regions) in a single pass.
 
         ``value_map`` maps values in the original IR to values the clone should
         use; it is updated with mappings for every result and block argument
         produced by the clone.  This is how ``unroll_for`` bodies get
         replicated during lowering.
+
+        The clone is built directly (one descent over the nested regions with
+        the value map threaded through) rather than routed back through
+        ``Operation.__init__``, which would re-validate every operand and
+        re-wrap every attribute a second time per cloned op — measurable on
+        unroll-heavy designs like the 256-PE GEMM array.
         """
         value_map = value_map if value_map is not None else {}
         cloned = object.__new__(type(self))
-        Operation.__init__(
-            cloned,
-            name=self.name,
-            operands=[value_map.get(v, v) for v in self._operands],
-            result_types=[r.type for r in self.results],
-            attributes=dict(self.attributes),
-            num_regions=0,
-            location=self.location,
-        )
-        for old_res, new_res in zip(self.results, cloned.results):
-            new_res.name_hint = old_res.name_hint
+        cloned.name = self.name
+        cloned.location = self.location
+        cloned.parent_block = None
+        cloned.attributes = dict(self.attributes)  # attributes are immutable
+        cloned._cse_signature = None
+        cloned._operands = []
+        cloned.results = []
+        for index, old_res in enumerate(self.results):
+            new_res = OpResult(cloned, index, old_res.type, old_res.name_hint)
+            cloned.results.append(new_res)
             value_map[old_res] = new_res
+        for index, operand in enumerate(self._operands):
+            mapped = value_map.get(operand, operand)
+            cloned._operands.append(mapped)
+            mapped._add_use(Use(cloned, index))
+        cloned.regions = []
         for region in self.regions:
             new_region = Region(cloned)
             cloned.regions.append(new_region)

@@ -4,16 +4,26 @@ Modelled after MLIR's pass manager, trimmed down to what the HIR compiler and
 the baseline HLS compiler need: module-level passes run in sequence, each pass
 can record statistics (e.g. "ops removed by CSE"), and the manager can verify
 the IR after each pass.
+
+The manager also owns an :class:`~repro.ir.analysis.AnalysisManager`: passes
+reach cached analyses through ``self.analyses`` and declare which analyses
+they keep valid via ``PRESERVES``; everything else is invalidated after the
+pass runs.  ``timing_report()`` is the ``--timing``-style breakdown: per-pass
+transform and verifier seconds, pass statistics, and analysis cache hit/miss
+counts.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.ir.analysis import AnalysisManager, PRESERVE_ALL
 from repro.ir.operation import Operation
 from repro.ir.verifier import verify
+
+__all__ = ["Pass", "PassManager", "PassTiming", "PRESERVE_ALL"]
 
 
 class Pass:
@@ -22,8 +32,16 @@ class Pass:
     #: Human-readable pass name, used in statistics and timing reports.
     name: str = "unnamed-pass"
 
+    #: Analyses (by name) this pass keeps valid; the pass manager invalidates
+    #: every other cached analysis after the pass runs.  Analysis-only passes
+    #: can declare :data:`~repro.ir.analysis.PRESERVE_ALL`.
+    PRESERVES: Tuple[str, ...] = ()
+
     def __init__(self) -> None:
         self.statistics: Dict[str, int] = {}
+        #: Set by the pass manager before ``run``; passes may use it to fetch
+        #: cached analyses (``self.analyses.get("loop-info", module)``).
+        self.analyses: Optional[AnalysisManager] = None
 
     def run(self, module: Operation) -> None:  # pragma: no cover - abstract
         raise NotImplementedError(
@@ -42,6 +60,8 @@ class PassTiming:
     name: str
     seconds: float
     statistics: Dict[str, int] = field(default_factory=dict)
+    #: Time spent verifying the module after this pass (0 when disabled).
+    verify_seconds: float = 0.0
 
 
 class PassManager:
@@ -51,32 +71,62 @@ class PassManager:
         self.passes: List[Pass] = []
         self.verify_each = verify_each
         self.timings: List[PassTiming] = []
+        self.analysis_manager = AnalysisManager()
 
     def add(self, *passes: Pass) -> "PassManager":
         self.passes.extend(passes)
         return self
 
     def run(self, module: Operation) -> Operation:
-        """Run every registered pass in order and return the module."""
+        """Run every registered pass in order and return the module.
+
+        Timings *and* per-pass statistics are rebuilt on every call: a
+        manager reused across modules reports the statistics of the latest
+        run, not a stale accumulation over all previous runs.
+        """
         self.timings = []
+        analyses = self.analysis_manager
+        analyses.clear()
         for pass_ in self.passes:
+            pass_.statistics = {}
+            pass_.analyses = analyses
             start = time.perf_counter()
             pass_.run(module)
             elapsed = time.perf_counter() - start
-            self.timings.append(
-                PassTiming(pass_.name, elapsed, dict(pass_.statistics))
-            )
+            verify_elapsed = 0.0
             if self.verify_each:
+                verify_start = time.perf_counter()
                 verify(module)
+                verify_elapsed = time.perf_counter() - verify_start
+            self.timings.append(
+                PassTiming(pass_.name, elapsed, dict(pass_.statistics),
+                           verify_elapsed)
+            )
+            analyses.invalidate_all_except(pass_.PRESERVES)
         return module
 
     def timing_report(self) -> str:
         """A human-readable per-pass timing/statistics report."""
-        lines = ["pass timing report", "-" * 48]
+        lines = ["pass timing report", "-" * 60]
+        total = 0.0
+        total_verify = 0.0
         for timing in self.timings:
-            lines.append(f"{timing.name:<32} {timing.seconds * 1e3:8.3f} ms")
+            total += timing.seconds
+            total_verify += timing.verify_seconds
+            line = f"{timing.name:<32} {timing.seconds * 1e3:8.3f} ms"
+            if timing.verify_seconds:
+                line += f"  (+{timing.verify_seconds * 1e3:.3f} ms verify)"
+            lines.append(line)
             for key, value in sorted(timing.statistics.items()):
                 lines.append(f"    {key}: {value}")
+        lines.append(
+            f"{'total':<32} {total * 1e3:8.3f} ms"
+            f"  (+{total_verify * 1e3:.3f} ms verify)"
+        )
+        manager = self.analysis_manager
+        lines.append(
+            f"analysis cache: {manager.hits} hits, {manager.misses} misses"
+        )
         return "\n".join(lines)
 
     def statistic(self, pass_name: str, key: str) -> Optional[int]:

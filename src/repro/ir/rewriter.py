@@ -1,0 +1,145 @@
+"""Worklist-driven pattern rewriting.
+
+The seed passes reached their fixpoints by re-walking the whole module until
+an iteration made no change — O(module) work per rewrite.  The
+:class:`PatternRewriter` replaces that with the classic worklist algorithm:
+
+1. seed the worklist with every operation under the root, in pre-order,
+2. pop an operation, try the patterns registered for its name,
+3. when a rewrite changes something, re-enqueue only the operations whose
+   match status may have changed: the users of replaced results, the
+   producers of dropped operands, newly inserted operations, and the
+   rewritten operation itself.
+
+A rewrite therefore costs O(users touched), not O(module), while reaching
+the same fixpoint as the full re-walk for the local patterns used by the
+HIR pipeline (the legacy implementations are kept in
+:mod:`repro.passes.legacy` and the equivalence is asserted by golden tests).
+
+Patterns mutate the IR only through the rewriter's API (``replace_op``,
+``erase_op``, ``insert_before``) so the worklist always learns what changed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.ir.operation import Operation
+from repro.ir.values import OpResult, Value
+
+
+class RewritePattern:
+    """One local rewrite: match an operation and transform it in place."""
+
+    #: Operation names this pattern can match; ``None`` matches every op.
+    op_names: Optional[Tuple[str, ...]] = None
+
+    def match_and_rewrite(self, op: Operation,
+                          rewriter: "PatternRewriter") -> bool:
+        """Try to rewrite ``op``; return True iff the IR changed."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement match_and_rewrite(); a "
+            "pattern that never rewrites should not be registered"
+        )
+
+
+class PatternRewriter:
+    """Applies a set of patterns over a root operation with a worklist."""
+
+    def __init__(self, patterns: Sequence[RewritePattern]) -> None:
+        self._generic: List[RewritePattern] = []
+        self._by_name: Dict[str, List[RewritePattern]] = {}
+        for pattern in patterns:
+            if pattern.op_names is None:
+                self._generic.append(pattern)
+            else:
+                for name in pattern.op_names:
+                    self._by_name.setdefault(name, []).append(pattern)
+        self._worklist: deque = deque()
+        self._queued: set = set()
+        self._root: Optional[Operation] = None
+        self.num_rewrites = 0
+
+    # -- driving ----------------------------------------------------------
+    def rewrite(self, root: Operation) -> int:
+        """Drive every pattern to fixpoint under ``root``; returns #rewrites."""
+        self._root = root
+        before = self.num_rewrites
+        for op in root.walk():
+            self.enqueue(op)
+        worklist, queued = self._worklist, self._queued
+        while worklist:
+            op = worklist.popleft()
+            queued.discard(id(op))
+            if op.parent_block is None and op is not root:
+                continue  # erased while queued
+            self._apply_patterns(op)
+        self._root = None
+        return self.num_rewrites - before
+
+    def _apply_patterns(self, op: Operation) -> None:
+        patterns = self._by_name.get(op.name)
+        if patterns:
+            for pattern in patterns:
+                if pattern.match_and_rewrite(op, self):
+                    self.num_rewrites += 1
+                    if op.parent_block is None and op is not self._root:
+                        return  # op erased by its own rewrite
+                    self.enqueue(op)
+        for pattern in self._generic:
+            if pattern.match_and_rewrite(op, self):
+                self.num_rewrites += 1
+                if op.parent_block is None and op is not self._root:
+                    return
+                self.enqueue(op)
+
+    def enqueue(self, op: Operation) -> None:
+        """Schedule ``op`` for (re-)examination."""
+        if id(op) not in self._queued:
+            self._queued.add(id(op))
+            self._worklist.append(op)
+
+    def _enqueue_operand_producers(self, op: Operation) -> None:
+        for operand in op.operands:
+            if isinstance(operand, OpResult) and operand.operation.parent_block is not None:
+                self.enqueue(operand.operation)
+
+    # -- mutation API used by patterns -------------------------------------
+    def replace_op(self, op: Operation,
+                   replacements: Union[Value, Sequence[Value]]) -> None:
+        """Replace ``op``'s results with ``replacements`` and erase it.
+
+        Users of the replaced results and producers of the operation's
+        operands (whose use counts just dropped) are re-enqueued.
+        """
+        if isinstance(replacements, Value):
+            replacements = [replacements]
+        if len(replacements) != len(op.results):
+            raise ValueError(
+                f"cannot replace {op.name}: {len(op.results)} results but "
+                f"{len(replacements)} replacement values"
+            )
+        for result, new_value in zip(op.results, replacements):
+            for use in result.uses:
+                self.enqueue(use.operation)
+            result.replace_all_uses_with(new_value)
+        self._enqueue_operand_producers(op)
+        op.erase()
+
+    def erase_op(self, op: Operation) -> None:
+        """Erase an operation whose results are unused (DCE)."""
+        self._enqueue_operand_producers(op)
+        op.erase()
+
+    def insert_before(self, anchor: Operation, new_op: Operation) -> Operation:
+        """Insert ``new_op`` before ``anchor`` and schedule it for matching."""
+        anchor.parent_block.insert_before(anchor, new_op)
+        self.enqueue(new_op)
+        return new_op
+
+
+def apply_patterns(root: Operation,
+                   patterns: Iterable[RewritePattern]) -> int:
+    """Convenience wrapper: run ``patterns`` to fixpoint under ``root``."""
+    return PatternRewriter(list(patterns)).rewrite(root)

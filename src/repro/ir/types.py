@@ -5,7 +5,10 @@ types.  HIR-specific types (``!hir.const``, ``!hir.time`` and ``!hir.memref``)
 live in :mod:`repro.hir.types` but derive from :class:`Type` defined here.
 
 All types are immutable value objects: two types compare equal iff they print
-the same, which keeps uniquing trivial.
+the same, which keeps uniquing trivial.  Types are additionally *interned*
+(hash-consed) via :class:`~repro.ir.interning.HashConsMeta`: constructing a
+type that already exists returns the canonical instance, so equal types are
+the *same object* and every comparison hits the identity fast path.
 """
 
 from __future__ import annotations
@@ -13,13 +16,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Tuple
 
+from repro.ir.interning import HashConsMeta
+
 
 @dataclass(frozen=True)
-class Type:
+class Type(metaclass=HashConsMeta):
     """Base class of every IR type."""
 
     def __str__(self) -> str:  # pragma: no cover - subclasses override
         return "<type>"
+
+    # Types are immutable and interned: copying must preserve identity so
+    # cloned/deep-copied IR keeps comparing by identity.
+    def __copy__(self) -> "Type":
+        return self
+
+    def __deepcopy__(self, memo) -> "Type":
+        return self
 
     @property
     def bitwidth(self) -> int:

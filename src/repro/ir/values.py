@@ -10,7 +10,7 @@ uses in place, which the delay-elimination and CSE passes rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 from repro.ir.types import Type
 
@@ -31,15 +31,33 @@ class Value:
     """Base class for SSA values."""
 
     def __init__(self, type: Type, name_hint: Optional[str] = None) -> None:
-        self.type = type
+        self._type = type
         self.name_hint = name_hint
-        self._uses: List[Use] = []
+        # Uses keyed by (operation identity, operand index): add/remove are
+        # O(1) while insertion order — what passes iterate — is preserved.
+        # The Use holds a strong reference to the operation, so the id() key
+        # stays unambiguous for the lifetime of the entry.
+        self._uses: Dict[Tuple[int, int], Use] = {}
+
+    # -- type -------------------------------------------------------------
+    @property
+    def type(self) -> Type:
+        return self._type
+
+    @type.setter
+    def type(self, new_type: Type) -> None:
+        # Changing a result type (precision optimization) invalidates the
+        # defining operation's cached CSE signature.
+        self._type = new_type
+        owner = getattr(self, "operation", None)
+        if owner is not None:
+            owner._invalidate_signature()
 
     # -- use tracking -----------------------------------------------------
     @property
     def uses(self) -> List[Use]:
         """Live uses of this value (maintained by Operation operand setters)."""
-        return list(self._uses)
+        return list(self._uses.values())
 
     @property
     def has_uses(self) -> bool:
@@ -51,23 +69,20 @@ class Value:
 
     def users(self) -> Iterator["Operation"]:
         """Iterate over operations that use this value (with repetition)."""
-        for use in self._uses:
+        for use in self._uses.values():
             yield use.operation
 
     def _add_use(self, use: Use) -> None:
-        self._uses.append(use)
+        self._uses[(id(use.operation), use.operand_index)] = use
 
     def _remove_use(self, operation: "Operation", operand_index: int) -> None:
-        for i, use in enumerate(self._uses):
-            if use.operation is operation and use.operand_index == operand_index:
-                del self._uses[i]
-                return
+        self._uses.pop((id(operation), operand_index), None)
 
     def replace_all_uses_with(self, replacement: "Value") -> None:
         """Rewrite every use of this value to use ``replacement`` instead."""
         if replacement is self:
             return
-        for use in list(self._uses):
+        for use in list(self._uses.values()):
             use.operation.set_operand(use.operand_index, replacement)
 
     # -- convenience ------------------------------------------------------

@@ -4,6 +4,13 @@ from repro.passes.canonicalize import CanonicalizePass
 from repro.passes.constant_propagation import ConstantPropagationPass
 from repro.passes.cse import CSEPass
 from repro.passes.delay_elimination import DelayEliminationPass
+from repro.passes.legacy import (
+    LegacyCanonicalizePass,
+    LegacyConstantPropagationPass,
+    LegacyCSEPass,
+    LegacyDelayEliminationPass,
+    LegacyStrengthReductionPass,
+)
 from repro.passes.memport_opt import MemPortOptimizationPass
 from repro.passes.precision_opt import PrecisionOptimizationPass, RangeAnalysis
 from repro.passes.pipeline import (
@@ -45,4 +52,9 @@ __all__ = [
     "VerificationReport",
     "verify_schedule",
     "StrengthReductionPass",
+    "LegacyCanonicalizePass",
+    "LegacyConstantPropagationPass",
+    "LegacyCSEPass",
+    "LegacyDelayEliminationPass",
+    "LegacyStrengthReductionPass",
 ]

@@ -4,6 +4,12 @@ These are the "standard optimizations well-known in the software compiler
 domain" the paper inherits for free from building on a compiler IR
 (Section 6.2): they reduce hardware because an unused combinational op is an
 unused LUT cluster, and ``x + 0`` is just a wire.
+
+The pass is worklist-driven (:mod:`repro.ir.rewriter`): one seeding walk,
+then only the users of rewritten values are revisited, instead of re-walking
+the whole module to fixpoint.  The stage order of the seed implementation is
+preserved exactly — simplify, unique constants, DCE — so the result is
+bit-identical to :class:`repro.passes.legacy.LegacyCanonicalizePass`.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.ir.operation import Operation
 from repro.ir.pass_manager import Pass
+from repro.ir.rewriter import PatternRewriter, RewritePattern
 from repro.ir.values import Value
 from repro.hir.ops import (
     AddOp,
@@ -58,32 +65,57 @@ def _simplify(op: Operation) -> Optional[Value]:
     return None
 
 
+#: Operations _simplify can rewrite, for the pattern's name filter.
+_SIMPLIFIABLE = ("hir.add", "hir.sub", "hir.mult", "hir.shl", "hir.shr",
+                 "hir.or", "hir.xor", "hir.delay")
+
+
+class _SimplifyPattern(RewritePattern):
+    op_names = _SIMPLIFIABLE
+
+    def __init__(self, pass_: "CanonicalizePass") -> None:
+        self._pass = pass_
+
+    def match_and_rewrite(self, op: Operation,
+                          rewriter: PatternRewriter) -> bool:
+        if not op.results:
+            return False
+        replacement = _simplify(op)
+        if replacement is None:
+            return False
+        rewriter.replace_op(op, replacement)
+        self._pass.record("ops-simplified")
+        return True
+
+
+class _DCEPattern(RewritePattern):
+    op_names = None  # every op is a DCE candidate
+
+    def __init__(self, pass_: "CanonicalizePass") -> None:
+        self._pass = pass_
+
+    def match_and_rewrite(self, op: Operation,
+                          rewriter: PatternRewriter) -> bool:
+        if not getattr(op, "PURE", False) and not isinstance(op, DelayOp):
+            return False
+        if not op.results or any(result.has_uses for result in op.results):
+            return False
+        rewriter.erase_op(op)
+        self._pass.record("dead-ops-removed")
+        return True
+
+
 class CanonicalizePass(Pass):
     """Apply local simplifications, unique constants, and run DCE."""
 
     name = "canonicalize"
+    PRESERVES = ("loop-info",)  # loops are never erased, only their bodies
 
     def run(self, module: Operation) -> None:
         for func in functions_in(module):
-            self._simplify_ops(func)
+            PatternRewriter([_SimplifyPattern(self)]).rewrite(func)
             self._unique_constants(func)
-            self._dead_code_elimination(func)
-
-    # -- rewrites --------------------------------------------------------------
-    def _simplify_ops(self, func) -> None:
-        changed = True
-        while changed:
-            changed = False
-            for op in list(func.walk()):
-                if op.parent_block is None or not op.results:
-                    continue
-                replacement = _simplify(op)
-                if replacement is None:
-                    continue
-                op.results[0].replace_all_uses_with(replacement)
-                op.erase()
-                self.record("ops-simplified")
-                changed = True
+            PatternRewriter([_DCEPattern(self)]).rewrite(func)
 
     def _unique_constants(self, func) -> None:
         """Merge hir.constant ops with identical value and type per block scope."""
@@ -111,18 +143,3 @@ class CanonicalizePass(Pass):
                 op.results[0].replace_all_uses_with(existing.results[0])
                 op.erase()
                 self.record("constants-merged")
-
-    def _dead_code_elimination(self, func) -> None:
-        changed = True
-        while changed:
-            changed = False
-            for op in list(func.walk()):
-                if op.parent_block is None:
-                    continue
-                if not getattr(op, "PURE", False) and not isinstance(op, DelayOp):
-                    continue
-                if any(result.has_uses for result in op.results):
-                    continue
-                op.erase()
-                self.record("dead-ops-removed")
-                changed = True

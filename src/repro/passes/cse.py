@@ -22,18 +22,21 @@ Signature = Tuple
 
 
 def _signature(op: Operation) -> Signature:
-    operand_ids = tuple(id(operand) for operand in op.operands)
-    if getattr(op, "COMMUTATIVE", False):
-        operand_ids = tuple(sorted(operand_ids))
-    attributes = tuple(sorted((k, str(v)) for k, v in op.attributes.items()))
-    result_types = tuple(str(r.type) for r in op.results)
-    return (op.name, operand_ids, attributes, result_types)
+    """The op's structural signature.
+
+    Delegates to :meth:`Operation.cse_signature`, which caches the tuple and
+    invalidates it on mutation — with interned types/attributes the signature
+    compares by identity, so repeated CSE runs cost hash lookups, not string
+    formatting of every attribute and type.
+    """
+    return op.cse_signature()
 
 
 class CSEPass(Pass):
     """Eliminate duplicate pure operations."""
 
     name = "cse"
+    PRESERVES = ("loop-info",)
 
     def run(self, module: Operation) -> None:
         for func in functions_in(module):

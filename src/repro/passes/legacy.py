@@ -1,0 +1,202 @@
+"""Reference (pre-worklist) implementations of the scalar optimization passes.
+
+These are the seed implementations that reach their fixpoints by re-walking
+the whole module after every change.  They are kept for two reasons:
+
+* **differential oracle** — golden tests assert the worklist-driven passes
+  in :mod:`repro.passes` produce bit-identical IR/Verilog, and
+* **benchmark baseline** — ``benchmarks/bench_compile_time.py`` measures the
+  fast compile path against exactly this code
+  (``optimization_pipeline(legacy=True)``).
+
+Do not add new rewrites here; extend the worklist passes and mirror the
+behaviour only if the golden tests need it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ir.block import Block
+from repro.ir.operation import Operation
+from repro.ir.pass_manager import Pass
+from repro.ir.types import IntegerType
+from repro.hir.ops import ConstantOp, DelayOp, MultOp, constant_value
+from repro.passes.canonicalize import _simplify
+from repro.passes.common import functions_in
+from repro.passes.constant_propagation import _fold_op
+
+
+class LegacyCanonicalizePass(Pass):
+    """Seed canonicalization: full re-walk to fixpoint per rewrite wave."""
+
+    name = "legacy-canonicalize"
+
+    def run(self, module: Operation) -> None:
+        for func in functions_in(module):
+            self._simplify_ops(func)
+            self._unique_constants(func)
+            self._dead_code_elimination(func)
+
+    def _simplify_ops(self, func) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for op in list(func.walk()):
+                if op.parent_block is None or not op.results:
+                    continue
+                replacement = _simplify(op)
+                if replacement is None:
+                    continue
+                op.results[0].replace_all_uses_with(replacement)
+                op.erase()
+                self.record("ops-simplified")
+                changed = True
+
+    def _unique_constants(self, func) -> None:
+        seen: Dict[Tuple[int, str], ConstantOp] = {}
+        for op in list(func.body.operations):
+            if not isinstance(op, ConstantOp):
+                continue
+            key = (op.value, str(op.results[0].type))
+            existing = seen.get(key)
+            if existing is None:
+                seen[key] = op
+                continue
+            op.results[0].replace_all_uses_with(existing.results[0])
+            op.erase()
+            self.record("constants-merged")
+        for op in list(func.walk()):
+            if not isinstance(op, ConstantOp) or op.parent_block is func.body:
+                continue
+            key = (op.value, str(op.results[0].type))
+            existing = seen.get(key)
+            if existing is not None:
+                op.results[0].replace_all_uses_with(existing.results[0])
+                op.erase()
+                self.record("constants-merged")
+
+    def _dead_code_elimination(self, func) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for op in list(func.walk()):
+                if op.parent_block is None:
+                    continue
+                if not getattr(op, "PURE", False) and not isinstance(op, DelayOp):
+                    continue
+                if any(result.has_uses for result in op.results):
+                    continue
+                op.erase()
+                self.record("dead-ops-removed")
+                changed = True
+
+
+class LegacyConstantPropagationPass(Pass):
+    """Seed constant folding: whole-function re-walks until a fixpoint."""
+
+    name = "legacy-constant-propagation"
+
+    def run(self, module: Operation) -> None:
+        for func in functions_in(module):
+            changed = True
+            while changed:
+                changed = False
+                for op in list(func.walk()):
+                    if op.parent_block is None:
+                        continue
+                    folded = _fold_op(op)
+                    if folded is None:
+                        continue
+                    result = op.results[0]
+                    result_type = result.type
+                    if isinstance(result_type, IntegerType):
+                        folded = result_type.wrap(folded)
+                    constant = ConstantOp(folded, result_type, location=op.location)
+                    op.parent_block.insert_before(op, constant)
+                    result.replace_all_uses_with(constant.results[0])
+                    op.erase()
+                    self.record("ops-folded")
+                    changed = True
+
+
+class LegacyCSEPass(Pass):
+    """Seed CSE: scoped hash table with per-run signature recomputation."""
+
+    name = "legacy-cse"
+
+    def run(self, module: Operation) -> None:
+        for func in functions_in(module):
+            self._run_on_block(func.body, [])
+
+    @staticmethod
+    def _signature(op: Operation) -> Tuple:
+        operand_ids = tuple(id(operand) for operand in op.operands)
+        if getattr(op, "COMMUTATIVE", False):
+            operand_ids = tuple(sorted(operand_ids))
+        attributes = tuple(sorted((k, str(v)) for k, v in op.attributes.items()))
+        result_types = tuple(str(r.type) for r in op.results)
+        return (op.name, operand_ids, attributes, result_types)
+
+    def _run_on_block(self, block: Block,
+                      scopes: List[Dict[Tuple, Operation]]) -> None:
+        scopes = scopes + [{}]
+        for op in list(block.operations):
+            if op.parent_block is None:
+                continue
+            if getattr(op, "PURE", False) and op.results:
+                signature = self._signature(op)
+                existing = None
+                for scope in reversed(scopes):
+                    if signature in scope:
+                        existing = scope[signature]
+                        break
+                if existing is not None:
+                    for old, new in zip(op.results, existing.results):
+                        old.replace_all_uses_with(new)
+                    op.erase()
+                    self.record("ops-eliminated")
+                    continue
+                scopes[-1][signature] = op
+            for region in op.regions:
+                for nested in region.blocks:
+                    self._run_on_block(nested, scopes)
+
+
+class LegacyStrengthReductionPass(Pass):
+    """Seed strength reduction: one full walk rewriting constant multiplies."""
+
+    name = "legacy-strength-reduction"
+
+    def run(self, module: Operation) -> None:
+        from repro.passes.strength_reduction import rewrite_mult
+
+        for func in functions_in(module):
+            for op in list(func.walk()):
+                if not isinstance(op, MultOp) or op.parent_block is None:
+                    continue
+                if rewrite_mult(op):
+                    self.record("multiplies-removed")
+
+
+class LegacyDelayEliminationPass(Pass):
+    """Seed delay elimination: one walk + global sharing-group scan."""
+
+    name = "legacy-delay-elimination"
+
+    def run(self, module: Operation) -> None:
+        from repro.passes.delay_elimination import share_delay_groups
+
+        for func in functions_in(module):
+            groups: Dict[Tuple[int, int, int], List[DelayOp]] = {}
+            for op in list(func.walk()):
+                if not isinstance(op, DelayOp) or op.parent_block is None:
+                    continue
+                if constant_value(op.value) is not None:
+                    op.results[0].replace_all_uses_with(op.value)
+                    op.erase()
+                    self.record("constant-delays-removed")
+                    continue
+                key = (id(op.value), id(op.time_operand), op.offset)
+                groups.setdefault(key, []).append(op)
+            share_delay_groups(groups, self.record)

@@ -29,11 +29,39 @@ def verification_pipeline(raise_on_error: bool = True,
 
 
 def optimization_pipeline(verify_schedule: bool = True,
-                          verify_each: bool = True) -> PassManager:
-    """The full HIR optimization pipeline used for the paper's evaluation."""
+                          verify_each: bool = True,
+                          legacy: bool = False) -> PassManager:
+    """The full HIR optimization pipeline used for the paper's evaluation.
+
+    ``legacy=True`` assembles the same pipeline from the seed (full re-walk)
+    pass implementations in :mod:`repro.passes.legacy`; it exists as the
+    baseline for compile-time benchmarks and as a differential oracle — both
+    variants must produce bit-identical IR and Verilog.
+    """
     manager = PassManager(verify_each=verify_each)
     if verify_schedule:
         manager.add(ScheduleVerifierPass())
+    if legacy:
+        from repro.passes.legacy import (
+            LegacyCanonicalizePass,
+            LegacyConstantPropagationPass,
+            LegacyCSEPass,
+            LegacyDelayEliminationPass,
+            LegacyStrengthReductionPass,
+        )
+
+        manager.add(
+            LegacyCanonicalizePass(),
+            LegacyConstantPropagationPass(),
+            LegacyCSEPass(),
+            LegacyStrengthReductionPass(),
+            LegacyConstantPropagationPass(),
+            PrecisionOptimizationPass(),
+            LegacyDelayEliminationPass(),
+            MemPortOptimizationPass(),
+            LegacyCanonicalizePass(),
+        )
+        return manager
     manager.add(
         CanonicalizePass(),
         ConstantPropagationPass(),

@@ -31,16 +31,26 @@ class LoopUnrollPass(Pass):
 
     def run(self, module: Operation) -> None:
         for func in functions_in(module):
-            # Repeat until no unroll_for remains (they may be nested).
-            while self._unroll_one(func):
-                self.record("loops-unrolled")
+            # One walk collects every unroll_for with its nesting depth.
+            # Unrolling innermost-first means replicated bodies never contain
+            # another unroll_for, so no rescans are needed — the seed version
+            # re-walked the whole function once per unrolled loop.
+            loops = []
 
-    def _unroll_one(self, func) -> bool:
-        for op in func.walk():
-            if isinstance(op, UnrollForOp) and op.parent_block is not None:
+            def collect(op: Operation, depth: int) -> None:
+                for region in op.regions:
+                    for block in region.blocks:
+                        for nested in block.operations:
+                            if isinstance(nested, UnrollForOp):
+                                loops.append((depth, nested))
+                            collect(nested, depth + 1)
+
+            collect(func, 0)
+            for _depth, op in sorted(loops, key=lambda item: -item[0]):
+                if op.parent_block is None:
+                    continue  # already replicated away with an enclosing loop
                 self._unroll(op)
-                return True
-        return False
+                self.record("loops-unrolled")
 
     def _unroll(self, op: UnrollForOp) -> None:
         block = op.parent_block

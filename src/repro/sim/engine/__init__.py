@@ -37,7 +37,7 @@ from repro.sim.engine.batch import (
     BatchedSimulator,
     run_design_batch,
 )
-from repro.sim.engine.cache import clear_compile_cache
+from repro.sim.engine.cache import clear_compile_cache, compile_cache_size
 from repro.sim.engine.compiled import CompiledSimulator
 from repro.sim.engine.differential import DifferentialSimulator, DivergenceError
 from repro.sim.engine.levelize import LoweredDesign, lower_design
@@ -105,6 +105,7 @@ __all__ = [
     "LoweredDesign",
     "available_engines",
     "clear_compile_cache",
+    "compile_cache_size",
     "create_simulator",
     "get_default_engine",
     "lower_design",

@@ -11,11 +11,20 @@ with it.
 Designs with external (black-box) models are never cached: their elaboration
 instantiates stateful behavioural models that must stay private to one
 simulator.
+
+The cache is bounded: long batched sweeps compile many distinct designs, and
+without a cap every compiled artifact would stay alive for as long as its
+design object does.  The least-recently-used design entries are evicted once
+the cache holds more than ``REPRO_SIM_CACHE_SIZE`` designs (default 64; 0
+disables caching entirely).  Eviction only drops the cache's references —
+simulators already built from the artifacts keep working.
 """
 
 from __future__ import annotations
 
+import os
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
@@ -29,17 +38,48 @@ from repro.sim.verilog_sim import _Elaborator, _FlatDesign
 from repro.verilog.ast import Design
 
 # Designs are eq-comparing dataclasses (unhashable), so key on identity and
-# evict via a finalizer when the design object dies.
-_CACHE: dict = {}
+# evict via a finalizer when the design object dies.  Ordered by recency of
+# use (most recent last) for LRU eviction.
+_CACHE: "OrderedDict[int, dict]" = OrderedDict()
+#: Design ids with a live finalizer, so a design that is LRU-evicted and
+#: later re-cached does not accumulate one finalizer per re-insertion.
+_FINALIZED: set = set()
 
 
-def _design_entry(design: Design) -> dict:
+def _cache_capacity() -> int:
+    try:
+        return max(0, int(os.environ.get("REPRO_SIM_CACHE_SIZE", "64")))
+    except ValueError:
+        return 64
+
+
+def compile_cache_size() -> int:
+    """Number of designs currently held by the compile cache."""
+    return len(_CACHE)
+
+
+def _on_design_death(key: int) -> None:
+    _CACHE.pop(key, None)
+    _FINALIZED.discard(key)
+
+
+def _design_entry(design: Design) -> Optional[dict]:
+    capacity = _cache_capacity()
+    if capacity == 0:
+        return None
     key = id(design)
     entry = _CACHE.get(key)
     if entry is None:
         entry = {}
         _CACHE[key] = entry
-        weakref.finalize(design, _CACHE.pop, key, None)
+        if key not in _FINALIZED:
+            # One finalizer per design lifetime; it also frees the id for
+            # reuse, so eviction + re-insertion cannot stack finalizers.
+            _FINALIZED.add(key)
+            weakref.finalize(design, _on_design_death, key)
+    _CACHE.move_to_end(key)
+    while len(_CACHE) > capacity:
+        _CACHE.popitem(last=False)
     return entry
 
 
@@ -68,10 +108,10 @@ def _elaborate(design: Design, top: Optional[str],
 def compiled_artifacts(design: Design, top: Optional[str], external_models,
                        vector: bool) -> CompiledArtifacts:
     """Elaborate + compile ``design``, reusing cached artifacts when safe."""
-    cacheable = not external_models
+    per_design = _design_entry(design) if not external_models else None
+    cacheable = per_design is not None
     artifacts: Optional[CompiledArtifacts] = None
     if cacheable:
-        per_design = _design_entry(design)
         artifacts = per_design.get(top)
     if artifacts is None:
         flat, lowered = _elaborate(design, top, external_models)
@@ -95,4 +135,5 @@ def clear_compile_cache() -> None:
     _CACHE.clear()
 
 
-__all__ = ["CompiledArtifacts", "clear_compile_cache", "compiled_artifacts"]
+__all__ = ["CompiledArtifacts", "clear_compile_cache", "compile_cache_size",
+           "compiled_artifacts"]

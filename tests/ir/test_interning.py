@@ -1,0 +1,100 @@
+"""Property tests for hash-consed (interned) types and attributes."""
+
+import copy
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.attributes import (
+    ArrayAttr,
+    BoolAttr,
+    IntegerAttr,
+    StringAttr,
+    attr,
+)
+from repro.ir.types import (
+    I32,
+    FloatType,
+    FunctionType,
+    IntegerType,
+)
+from repro.hir.types import CONST, ConstType, MemrefType, TimeType
+
+
+class TestTypeInterning:
+    @given(st.integers(min_value=1, max_value=512), st.booleans())
+    def test_equal_integer_types_are_identical(self, width, signed):
+        assert IntegerType(width, signed) is IntegerType(width, signed)
+
+    @given(st.integers(min_value=1, max_value=512))
+    def test_keyword_and_positional_spellings_unify(self, width):
+        assert IntegerType(width) is IntegerType(width=width)
+        assert IntegerType(width) is IntegerType(width, True)
+
+    def test_distinct_types_stay_distinct(self):
+        assert IntegerType(8) is not IntegerType(9)
+        assert IntegerType(8) is not IntegerType(8, signed=False)
+        assert FloatType(32) is not FloatType(64)
+
+    def test_module_singletons_are_canonical(self):
+        assert IntegerType(32) is I32
+        assert ConstType() is CONST
+
+    def test_function_types_intern(self):
+        a = FunctionType((I32,), (IntegerType(8),))
+        b = FunctionType((IntegerType(32),), (IntegerType(8),))
+        assert a is b
+
+    def test_memref_types_intern(self):
+        a = MemrefType((4, 4), IntegerType(16), "rw", (0,))
+        b = MemrefType((4, 4), IntegerType(16), "rw", (0,))
+        assert a is b
+
+    def test_invalid_constructions_still_raise(self):
+        with pytest.raises(ValueError):
+            IntegerType(0)
+        with pytest.raises(ValueError):
+            MemrefType(())
+
+    def test_copy_and_deepcopy_preserve_identity(self):
+        t = MemrefType((2, 3), I32, "r", (1,))
+        assert copy.copy(t) is t
+        assert copy.deepcopy(t) is t
+
+    def test_unhashable_arguments_fall_back_to_plain_construction(self):
+        # Lists are unhashable, so this spelling cannot be interned — it must
+        # still construct and compare structurally.
+        a = FunctionType([I32], [I32])  # type: ignore[arg-type]
+        assert a.inputs[0] is I32
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_equality_and_hash_agree_with_identity(self, width):
+        a, b = IntegerType(width), IntegerType(width)
+        assert a == b and hash(a) == hash(b) and a is b
+
+
+class TestAttributeInterning:
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31))
+    def test_integer_attrs_intern(self, value):
+        assert IntegerAttr(value) is IntegerAttr(value)
+        assert attr(value) is IntegerAttr(value)
+
+    def test_typed_and_untyped_attrs_differ(self):
+        assert IntegerAttr(3) is not IntegerAttr(3, I32)
+
+    @given(st.text(max_size=16))
+    def test_string_attrs_intern(self, text):
+        assert StringAttr(text) is StringAttr(text)
+
+    def test_bool_is_not_integer(self):
+        assert attr(True) is BoolAttr(True)
+        assert attr(True) is not IntegerAttr(1)
+
+    def test_array_attrs_intern_recursively(self):
+        a = attr([1, 2, 3])
+        b = attr((1, 2, 3))
+        assert isinstance(a, ArrayAttr) and a is b
+
+    def test_deepcopy_preserves_identity(self):
+        a = attr([1, "x", True])
+        assert copy.deepcopy(a) is a
