@@ -19,7 +19,7 @@ from repro.passes import (
     PrecisionOptimizationPass,
 )
 from repro.resources import estimate_resources
-from repro.verilog import generate_verilog
+from repro.verilog import generate_verilog_impl as generate_verilog
 
 
 def _resources(module, top):

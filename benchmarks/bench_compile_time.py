@@ -34,7 +34,7 @@ from repro.hls import HLSOptions, clear_schedule_memo, compile_program
 from repro.hls import scheduling as hls_scheduling
 from repro.kernels import build_kernel
 from repro.passes import optimization_pipeline
-from repro.verilog import generate_verilog
+from repro.verilog import generate_verilog_impl as generate_verilog
 from repro.verilog.emitter import emit_design
 
 #: Paper-scale Table 6 kernel parameters.

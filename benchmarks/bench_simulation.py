@@ -14,9 +14,9 @@ import numpy as np
 import pytest
 
 from repro.kernels import build_kernel
-from repro.sim import run_design
+from repro.sim import run_design_impl as run_design
 from repro.sim.engine import clear_compile_cache
-from repro.verilog import generate_verilog
+from repro.verilog import generate_verilog_impl as generate_verilog
 
 #: Single-run speedup the compiled engine must deliver on GEMM (cold compile
 #: included); measured ~4x on the development machine, so 3x leaves margin.

@@ -7,7 +7,7 @@ from repro.hls import compile_program
 from repro.kernels import transpose
 from repro.passes import optimization_pipeline
 from repro.resources import estimate_resources
-from repro.verilog import generate_verilog
+from repro.verilog import generate_verilog_impl as generate_verilog
 
 SIZE = 16
 

@@ -12,7 +12,7 @@ from repro.evaluation import table5
 from repro.kernels import build_kernel
 from repro.passes import optimization_pipeline
 from repro.resources import estimate_resources
-from repro.verilog import generate_verilog
+from repro.verilog import generate_verilog_impl as generate_verilog
 
 KERNELS = ["transpose", "stencil_1d", "histogram", "convolution", "fifo", "gemm"]
 

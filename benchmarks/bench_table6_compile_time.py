@@ -12,7 +12,7 @@ from repro.evaluation import table6
 from repro.hls import compile_program
 from repro.kernels import build_kernel
 from repro.passes import optimization_pipeline
-from repro.verilog import generate_verilog
+from repro.verilog import generate_verilog_impl as generate_verilog
 
 HIR_KERNELS = ["transpose", "stencil_1d", "histogram", "convolution", "gemm"]
 

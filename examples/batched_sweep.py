@@ -1,14 +1,13 @@
 #!/usr/bin/env python3
 """Batched stimulus sweep: one compiled design, many scenarios at once.
 
-The compiled engine pays elaboration + compilation once per design; the
-batched engine goes further and advances N independent stimulus sets per
-step-function call (every signal holds a numpy lane array).  This example
-sweeps a GEMM accelerator over many random input matrices three ways —
+One `Flow` session compiles the GEMM accelerator once; each simulation then
+reuses the cached design (the engine additionally caches its compiled step
+functions per design).  The sweep runs three ways —
 
 1. the interpreted reference simulator, one run per stimulus,
 2. the compiled event-driven engine, one run per stimulus, and
-3. the batched engine, all stimuli in one run —
+3. `flow.simulate_batch(seeds)`, all stimuli in one numpy-vectorized run —
 
 checks every result against numpy, and prints the throughput of each.
 
@@ -23,14 +22,14 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np
 
-from repro.kernels import build_kernel
+from repro import Flow
 
 SIZE = 6
 SCENARIOS = 12
 
 
 def main() -> None:
-    artifacts = build_kernel("gemm", size=SIZE)
+    flow = Flow.from_kernel("gemm", size=SIZE)
     seeds = list(range(SCENARIOS))
 
     print(f"GEMM {SIZE}x{SIZE}, {SCENARIOS} random stimulus sets")
@@ -38,33 +37,33 @@ def main() -> None:
 
     start = time.perf_counter()
     for seed in seeds:
-        run, inputs = artifacts.simulate(seed=seed, engine="interpreted")
-        assert run.done
+        outcome = flow.simulate(seed=seed, engine="interpreted").value
+        assert outcome.run.done
     interpreted = time.perf_counter() - start
     print(f"interpreted : {interpreted:6.2f}s "
           f"({interpreted / SCENARIOS:6.3f}s per scenario)")
 
     start = time.perf_counter()
     for seed in seeds:
-        run, inputs = artifacts.simulate(seed=seed, engine="compiled")
-        expected = artifacts.reference(inputs)["C"]
-        assert np.array_equal(run.memory_array("C"), expected)
+        outcome = flow.simulate(seed=seed, engine="compiled").value
+        expected = flow.reference(outcome.inputs)["C"]
+        assert np.array_equal(outcome.memory_array("C"), expected)
     compiled = time.perf_counter() - start
     print(f"compiled    : {compiled:6.2f}s "
           f"({compiled / SCENARIOS:6.3f}s per scenario, "
           f"{interpreted / compiled:4.1f}x)")
 
     start = time.perf_counter()
-    batch_run, inputs_per_lane = artifacts.simulate_batch(seeds)
+    batch = flow.simulate_batch(seeds).value
     batched = time.perf_counter() - start
-    for lane, inputs in enumerate(inputs_per_lane):
-        expected = artifacts.reference(inputs)["C"]
-        assert np.array_equal(batch_run.memory_array("C", lane), expected)
+    for lane, inputs in enumerate(batch.inputs_per_lane):
+        expected = flow.reference(inputs)["C"]
+        assert np.array_equal(batch.memory_array("C", lane), expected)
     print(f"batched     : {batched:6.2f}s "
           f"({batched / SCENARIOS:6.3f}s per scenario, "
           f"{interpreted / batched:4.1f}x)")
     print(f"\nall {SCENARIOS} scenarios match the numpy reference; "
-          f"every lane took {int(batch_run.cycles[0])} cycles")
+          f"every lane took {int(batch.run.cycles[0])} cycles")
 
 
 if __name__ == "__main__":

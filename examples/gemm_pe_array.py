@@ -4,9 +4,9 @@
 This is the paper's headline hand-optimized kernel (Section 7.3): nested
 ``hir.unroll_for`` loops describe an ``N x N`` array of multiply-accumulate
 processing elements, fed from banked on-chip buffers, with a staggered
-write-back phase.  The example compiles the design, reports the resources
-(one 32x32 multiplier, i.e. three DSP slices, per PE), and simulates a small
-instance against numpy.
+write-back phase.  The example drives one `Flow` session per instance:
+a paper-scale one for the resource report, and a small one that is
+simulated against numpy.
 
 Run with:  python examples/gemm_pe_array.py
 """
@@ -18,43 +18,32 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np
 
-from repro.kernels import gemm
-from repro.passes import optimization_pipeline, verify_schedule
-from repro.resources import estimate_resources
-from repro.sim import run_design
-from repro.verilog import generate_verilog
+from repro import Flow, FlowConfig
 
 SIM_SIZE = 4       # simulated instance (fast)
 REPORT_SIZE = 16   # paper-scale instance (resource report only)
 
 
 def main() -> None:
+    config = FlowConfig(pipeline="optimize", verify_each=False)
+
     # --- paper-scale resource report -------------------------------------
-    artifacts = gemm.build(REPORT_SIZE)
-    optimization_pipeline(verify_each=False).run(artifacts.module)
-    result = generate_verilog(artifacts.module, top=artifacts.top)
-    report = estimate_resources(result.design)
+    flow = Flow.from_kernel("gemm", size=REPORT_SIZE, config=config)
+    report = flow.resources().value
     print(f"{REPORT_SIZE}x{REPORT_SIZE} PE array "
-          f"(code generation {result.seconds * 1000:.0f} ms): {report}")
+          f"(code generation {flow.verilog().seconds * 1000:.0f} ms): {report}")
     print(f"  -> {REPORT_SIZE * REPORT_SIZE} PEs x 3 DSP slices per 32x32 "
           f"multiplier = {report.as_dict()['DSP']} DSPs "
           "(Table 5 reports 768 for both compilers)")
 
     # --- functional check on a small instance ----------------------------
-    small = gemm.build(SIM_SIZE)
-    assert verify_schedule(small.module).ok
-    small_result = generate_verilog(small.module, top=small.top)
-    inputs = small.make_inputs(seed=3)
-    run = run_design(
-        small_result.design,
-        memories={name: (memref_type, inputs[name])
-                  for name, memref_type in small.interfaces.items()},
-        drain_cycles=16,
-    )
-    expected = small.reference(inputs)["C"]
-    produced = run.memory_array("C")
-    print(f"\n{SIM_SIZE}x{SIM_SIZE} instance simulated in {run.cycles} cycles; "
-          f"matches numpy matmul: {np.array_equal(produced, expected)}")
+    small = Flow.from_kernel("gemm", size=SIM_SIZE, config=config)
+    assert small.verified().value.ok
+    outcome = small.simulate(seed=3).value
+    expected = small.reference(outcome.inputs)["C"]
+    produced = outcome.memory_array("C")
+    print(f"\n{SIM_SIZE}x{SIM_SIZE} instance simulated in {outcome.run.cycles} "
+          f"cycles; matches numpy matmul: {np.array_equal(produced, expected)}")
     print(produced)
 
 

@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
 """Quickstart: describe, verify, compile and simulate a matrix transpose.
 
-This walks the full HIR flow on the paper's Listing 1 design:
+This walks the full HIR flow on the paper's Listing 1 design through the
+`Flow` session API — one staged, cached entry point:
 
 1. build the HIR design with the Python builder API,
-2. verify the structure and the schedule,
-3. run the optimization pipeline (precision reduction, CSE, ...),
-4. generate synthesizable Verilog and estimate FPGA resources, and
-5. simulate the generated design against a numpy reference.
+2. `flow.hir()` / `flow.verified()` — structural + schedule verification,
+3. `flow.optimized()` — the optimization pipeline (precision reduction, CSE, ...),
+4. `flow.verilog()` / `flow.resources()` — synthesizable Verilog + FPGA estimate,
+5. `flow.simulate(inputs=...)` — cycle-accurate validation against numpy.
 
 Run with:  python examples/quickstart.py
 """
@@ -19,12 +20,9 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np
 
+from repro import Flow, FlowConfig
 from repro.hir import DesignBuilder, MemrefType
-from repro.ir import I32, print_module, verify
-from repro.passes import optimization_pipeline, verify_schedule
-from repro.resources import estimate_resources
-from repro.sim import run_design
-from repro.verilog import emit_design, generate_verilog
+from repro.ir import I32, print_module
 
 SIZE = 16
 
@@ -50,45 +48,43 @@ def build_transpose() -> DesignBuilder:
 
 
 def main() -> None:
-    design = build_transpose()
+    # One session owns the whole toolchain.  `engine="compiled"` selects the
+    # levelized, event-driven simulator; "interpreted" walks the AST, and
+    # "differential" runs both in lockstep, checking them against each other.
+    flow = Flow(build_transpose(), config=FlowConfig(engine="compiled"))
 
-    # 1. structural verification + schedule verification.
-    verify(design.module)
-    report = verify_schedule(design.module)
+    # 1. structural verification (flow.hir) + schedule verification.
+    flow.hir()
+    report = flow.verified().value
     print("schedule verification:", "ok" if report.ok else report.render())
 
     # 2. the textual IR (round-trippable generic form).
     print("\n--- HIR (generic textual form, excerpt) ---")
-    print("\n".join(print_module(design.module).splitlines()[:12]))
+    print("\n".join(print_module(flow.module).splitlines()[:12]))
 
-    # 3. optimize and generate Verilog.
-    pipeline = optimization_pipeline()
-    pipeline.run(design.module)
+    # 3. optimize and generate Verilog.  Stages are lazy and cached: asking
+    # for the Verilog runs the pass pipeline exactly once.
+    verilog = flow.verilog()
     print("\n--- pass pipeline ---")
-    print(pipeline.timing_report())
-
-    result = generate_verilog(design.module, top="transpose")
-    print(f"\ncode generation took {result.seconds * 1000:.2f} ms")
+    print(flow.pass_report())
+    print(f"\ncode generation took {verilog.seconds * 1000:.2f} ms")
     print("--- generated Verilog (excerpt) ---")
-    print("\n".join(emit_design(result.design).splitlines()[:20]))
+    print("\n".join(verilog.value.text.splitlines()[:20]))
 
     # 4. resource estimate.
-    print("\nresource estimate:", estimate_resources(result.design))
+    print("\nresource estimate:", flow.resources().value)
 
-    # 5. simulate against numpy.  `engine="compiled"` selects the levelized,
-    # event-driven engine; "interpreted" (the default) walks the AST, and
-    # "differential" runs both in lockstep and checks them against each other.
+    # 5. simulate against numpy.  Inputs map interface names to tensors;
+    # write-only interfaces (Co) are zero-filled automatically.
     rng = np.random.default_rng(7)
     matrix = rng.integers(-1000, 1000, size=(SIZE, SIZE))
-    in_type = MemrefType((SIZE, SIZE), I32, port="r")
-    out_type = MemrefType((SIZE, SIZE), I32, port="w")
-    run = run_design(result.design,
-                     memories={"Ai": (in_type, matrix),
-                               "Co": (out_type, np.zeros((SIZE, SIZE)))},
-                     engine="compiled")
-    output = run.memory_array("Co")
-    print(f"\nsimulated {run.cycles} cycles; "
-          f"matches numpy transpose: {np.array_equal(output, matrix.T)}")
+    outcome = flow.simulate(inputs={"Ai": matrix}).value
+    output = outcome.memory_array("Co")
+    print(f"\nsimulated {outcome.run.cycles} cycles on the {outcome.engine} "
+          f"engine; matches numpy transpose: {np.array_equal(output, matrix.T)}")
+
+    # Every stage remembers its provenance and cost:
+    print(f"\n{flow.report()}")
 
 
 if __name__ == "__main__":

@@ -20,22 +20,27 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro import Flow
 from repro.evaluation.figures import build_array_add, build_mac
-from repro.passes import verify_schedule
+
+
+def check(module) -> "object":
+    """flow.verified() returns the schedule report without raising."""
+    return Flow(module).verified().value
 
 
 def main() -> None:
     print("=== Figure 1: invalid operand time ===")
-    broken = verify_schedule(build_array_add(correct=False))
+    broken = check(build_array_add(correct=False))
     print(broken.render())
-    fixed = verify_schedule(build_array_add(correct=True))
+    fixed = check(build_array_add(correct=True))
     print("after inserting hir.delay on the index:",
           "no errors" if fixed.ok else fixed.render())
 
     print("\n=== Figure 2: pipeline imbalance ===")
-    broken = verify_schedule(build_mac(multiplier_stages=3))
+    broken = check(build_mac(multiplier_stages=3))
     print(broken.render())
-    balanced = verify_schedule(build_mac(multiplier_stages=2))
+    balanced = check(build_mac(multiplier_stages=2))
     print("with the original 2-stage multiplier:",
           "no errors" if balanced.ok else balanced.render())
 

@@ -2,6 +2,8 @@
 
 Top-level layout:
 
+* :mod:`repro.flow`       — the `Flow` session API: one staged, cached entry
+                            point for build → optimize → codegen → simulate.
 * :mod:`repro.ir`         — MLIR-like IR core (SSA, ops, regions, parser/printer).
 * :mod:`repro.hir`        — the HIR dialect: explicit schedules, memrefs, loops.
 * :mod:`repro.passes`     — schedule verification and optimization passes.
@@ -11,8 +13,44 @@ Top-level layout:
 * :mod:`repro.hls`        — a Vivado-HLS-like baseline compiler used by the evaluation.
 * :mod:`repro.kernels`    — the paper's benchmark kernels (HIR and HLS variants).
 * :mod:`repro.evaluation` — harness regenerating every table and figure.
+
+The package namespace re-exports the session API lazily, so ``import repro``
+stays light::
+
+    from repro import Flow, FlowConfig
+    flow = Flow.from_kernel("gemm", size=8)
+    print(flow.validate(seed=1).value)
+
+The same flow is scriptable from the shell: ``python -m repro --help``.
 """
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
-__all__ = ["__version__"]
+#: Lazily resolved top-level exports (PEP 562): name -> (module, attribute).
+_LAZY_EXPORTS = {
+    "Artifact": ("repro.flow", "Artifact"),
+    "Flow": ("repro.flow", "Flow"),
+    "FlowConfig": ("repro.flow", "FlowConfig"),
+    "FlowError": ("repro.flow", "FlowError"),
+    "KernelArtifacts": ("repro.kernels.base", "KernelArtifacts"),
+    "build_kernel": ("repro.kernels", "build_kernel"),
+    "kernel_names": ("repro.kernels", "kernel_names"),
+    "register_kernel": ("repro.kernels", "register_kernel"),
+}
+
+__all__ = ["__version__", *sorted(_LAZY_EXPORTS)]
+
+
+def __getattr__(name):
+    entry = _LAZY_EXPORTS.get(name)
+    if entry is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(entry[0]), entry[1])
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

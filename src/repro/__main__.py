@@ -1,0 +1,207 @@
+"""``python -m repro`` — the Flow toolchain from the shell.
+
+Subcommands mirror the :class:`repro.flow.Flow` stages:
+
+* ``list``      — registered kernels, simulation engines, pass pipelines.
+* ``build``     — kernel → (optimize) → Verilog [+ resource estimate].
+* ``simulate``  — one stimulus set, checked against the numpy reference.
+* ``sweep``     — N stimulus lanes on the batched engine, all checked.
+* ``report``    — the full evaluation harness (Tables 4–6, Figures 1–3).
+
+Kernel size parameters are passed as repeated ``-p key=value`` options::
+
+    python -m repro build gemm -p size=8 --resources
+    python -m repro simulate transpose -p size=8 --engine compiled
+    python -m repro sweep gemm -p size=4 --seeds 8
+    python -m repro report --quick --validate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+
+def _parse_params(pairs: Optional[List[str]]) -> Dict[str, int]:
+    parameters: Dict[str, int] = {}
+    for pair in pairs or []:
+        key, separator, value = pair.partition("=")
+        if not separator or not key:
+            raise SystemExit(f"bad -p {pair!r}: expected key=value")
+        try:
+            parameters[key] = int(value)
+        except ValueError:
+            raise SystemExit(f"bad -p {pair!r}: value must be an integer")
+    return parameters
+
+
+def _flow_config(arguments):
+    from repro.flow import FlowConfig
+
+    overrides = {}
+    if getattr(arguments, "engine", None) is not None:
+        overrides["engine"] = arguments.engine
+    if getattr(arguments, "pipeline", None) is not None:
+        overrides["pipeline"] = arguments.pipeline
+    if getattr(arguments, "jobs", None) is not None:
+        overrides["dse_jobs"] = arguments.jobs
+    # Environment REPRO_* variables participate via from_env, giving the CLI
+    # the same precedence chain as the library: flag > env > default.
+    return FlowConfig.from_env(**overrides)
+
+
+def _kernel_flow(arguments):
+    from repro.flow import Flow
+
+    return Flow.from_kernel(arguments.kernel,
+                            config=_flow_config(arguments),
+                            **_parse_params(arguments.param))
+
+
+def _cmd_list(arguments) -> int:
+    from repro.flow import PIPELINES
+    from repro.kernels import kernel_names
+    from repro.sim import available_engines, get_default_engine
+
+    print("kernels  :", ", ".join(kernel_names()))
+    print("engines  :", ", ".join(available_engines()),
+          f"(default: {get_default_engine()})")
+    print("pipelines:", ", ".join(PIPELINES))
+    return 0
+
+
+def _cmd_build(arguments) -> int:
+    flow = _kernel_flow(arguments)
+    verilog = flow.verilog()
+    if arguments.output:
+        with open(arguments.output, "w") as handle:
+            handle.write(verilog.value.text)
+        print(f"wrote {len(verilog.value.text.splitlines())} lines of Verilog "
+              f"to {arguments.output}")
+    else:
+        print(verilog.value.text)
+    if arguments.resources:
+        print(f"\nresources: {flow.resources().value}", file=sys.stderr)
+    print(f"\n{flow.report()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_simulate(arguments) -> int:
+    flow = _kernel_flow(arguments)
+    artifact = flow.validate(seed=arguments.seed)
+    outcome = artifact.value
+    status = "ok" if outcome.ok else "MISMATCH"
+    print(f"{outcome.name}: engine={outcome.engine} seed={arguments.seed} "
+          f"cycles={outcome.cycles} {status}")
+    print(flow.report(), file=sys.stderr)
+    return 0 if outcome.ok else 1
+
+
+def _cmd_sweep(arguments) -> int:
+    from repro.flow import outputs_match
+
+    flow = _kernel_flow(arguments)
+    seeds = list(range(arguments.seeds))
+    artifact = flow.simulate_batch(seeds)
+    outcome = artifact.value
+    failures = 0
+    for lane, inputs in enumerate(outcome.inputs_per_lane):
+        ok = bool(outcome.run.done[lane])
+        if ok and flow.reference is not None:
+            ok = outputs_match(flow.reference(inputs),
+                               lambda name: outcome.memory_array(name, lane),
+                               flow.output_warmup)
+        failures += 0 if ok else 1
+        print(f"lane {lane:>3}: seed={seeds[lane]} "
+              f"cycles={int(outcome.run.cycles[lane])} "
+              f"{'ok' if ok else 'MISMATCH'}")
+    rate = len(seeds) / artifact.seconds if artifact.seconds > 0 else 0.0
+    print(f"{len(seeds)} lanes in {artifact.seconds:.2f}s "
+          f"({rate:.1f} scenarios/s), {failures} mismatching",
+          file=sys.stderr)
+    return 0 if failures == 0 else 1
+
+
+def _cmd_report(arguments) -> int:
+    from repro.evaluation import runner
+
+    results = runner.run_all(quick=arguments.quick,
+                             sim_engine=arguments.engine,
+                             validate=arguments.validate,
+                             jobs=arguments.jobs or 1,
+                             timing=arguments.timing)
+    print(results.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="The HIR flow: build, optimize, codegen, simulate.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_kernel_options(sub, engine=True):
+        sub.add_argument("kernel", help="registered kernel name (see `list`)")
+        sub.add_argument("-p", "--param", action="append", metavar="KEY=VALUE",
+                         help="kernel size parameter (repeatable)")
+        sub.add_argument("--pipeline", default=None,
+                         choices=("optimize", "verify", "none", "legacy"),
+                         help="pass pipeline (default: optimize)")
+        if engine:
+            sub.add_argument("--engine", default=None,
+                             help="simulation engine (default: process/env)")
+
+    list_parser = subparsers.add_parser(
+        "list", help="registered kernels, engines and pipelines")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    build = subparsers.add_parser(
+        "build", help="compile a kernel to Verilog")
+    add_kernel_options(build)
+    build.add_argument("-o", "--output", default=None,
+                       help="write the Verilog here instead of stdout")
+    build.add_argument("--resources", action="store_true",
+                       help="append an FPGA resource estimate")
+    build.set_defaults(handler=_cmd_build)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="simulate one stimulus set and check it")
+    add_kernel_options(simulate)
+    simulate.add_argument("--seed", type=int, default=0,
+                          help="stimulus seed (default 0)")
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    # No --engine here: a sweep always runs the batched engine.
+    sweep = subparsers.add_parser(
+        "sweep", help="run N seeds on the batched engine")
+    add_kernel_options(sweep, engine=False)
+    sweep.add_argument("--seeds", type=int, default=8,
+                       help="number of stimulus lanes (default 8)")
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    report = subparsers.add_parser(
+        "report", help="regenerate the paper's tables and figures")
+    report.add_argument("--quick", action="store_true",
+                        help="reduced kernel sizes")
+    report.add_argument("--engine", default=None,
+                        help="simulation engine for simulated experiments")
+    report.add_argument("--validate", action="store_true",
+                        help="cross-check every kernel against its reference")
+    report.add_argument("--jobs", type=int, default=None,
+                        help="DSE parallelism for the --timing breakdown")
+    report.add_argument("--timing", action="store_true",
+                        help="append compile-timing breakdowns")
+    report.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

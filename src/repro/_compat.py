@@ -1,0 +1,26 @@
+"""Deprecation plumbing for the pre-`Flow` entry points.
+
+PR 3 consolidated the toolchain behind :class:`repro.flow.Flow`; the old
+free functions keep working as thin shims that forward to the same
+implementations the Flow stages use, emitting a :class:`DeprecationWarning`
+that names the replacement.  Policy: shims stay for at least two further
+PRs after their deprecation is announced in the README, then may be removed.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_deprecated(old: str, new: str) -> None:
+    """Emit the standard deprecation warning for a legacy entry point."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead (see the README migration "
+        "table). The shim forwards to the same implementation and will be "
+        "removed in a future release.",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+__all__ = ["warn_deprecated"]

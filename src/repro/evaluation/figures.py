@@ -26,7 +26,7 @@ from repro.passes import (
     VerificationReport,
     verify_schedule,
 )
-from repro.verilog import generate_verilog
+from repro.flow import Flow, FlowConfig
 from repro.verilog.ast import MemoryDecl, RegDecl
 from repro.evaluation.paper_data import PAPER_FIGURE3_BANKS
 
@@ -170,8 +170,8 @@ def figure3() -> Figure3Result:
         f.mem_write(value0, f.arg("out"), [0], time=loop.done, offset=2)
         f.mem_write(value1, f.arg("out"), [1], time=loop.done, offset=3)
         f.return_()
-    result = generate_verilog(design.module, top="banking_demo")
-    module = result.design.top_module
+    flow = Flow(design, top="banking_demo", config=FlowConfig(pipeline="none"))
+    module = flow.design.top_module
     storage = [item.name for item in module.items
                if isinstance(item, (MemoryDecl, RegDecl)) and item.name.startswith("A_")]
     banks = sum(1 for item in module.items

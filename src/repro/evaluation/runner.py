@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.evaluation import figures, table4, table5, table6
+from repro.flow import Flow, FlowConfig
 
 #: Reduced kernel sizes for a fast smoke run of the whole evaluation.
 QUICK_TABLE5_PARAMS: Dict[str, Dict[str, int]] = {
@@ -40,22 +41,23 @@ class ValidationRow:
 
 def validate_kernels(engine: str = "differential",
                      params: Optional[Dict[str, Dict[str, int]]] = None,
+                     config: Optional[FlowConfig] = None,
                      ) -> Dict[str, ValidationRow]:
     """Cross-check every kernel's simulated outputs against its reference.
 
     With the default ``differential`` engine this also compares the compiled
     engine's trace against the interpreter cycle by cycle, so a pass means
-    both engines agree *and* match the numpy model.
+    both engines agree *and* match the numpy model.  Runs each kernel
+    through a :class:`~repro.flow.Flow` session with ``pipeline="none"``
+    (validating exactly the module as built, like the seed harness did).
     """
-    from repro.kernels import build_kernel
-
+    config = (config or FlowConfig()).with_(pipeline="none", engine=engine)
     rows: Dict[str, ValidationRow] = {}
     for kernel, kernel_params in (params or table5.DEFAULT_PARAMS).items():
-        artifacts = build_kernel(kernel, **kernel_params)
-        run, inputs = artifacts.simulate(seed=1, engine=engine)
-        rows[kernel] = ValidationRow(kernel=kernel, engine=engine,
-                                     cycles=run.cycles,
-                                     ok=artifacts.check_outputs(run, inputs))
+        flow = Flow.from_kernel(kernel, config=config, **kernel_params)
+        outcome = flow.validate(seed=1).value
+        rows[kernel] = ValidationRow(kernel=kernel, engine=outcome.engine,
+                                     cycles=outcome.cycles, ok=outcome.ok)
     return rows
 
 
@@ -69,7 +71,8 @@ def render_validation(rows: Dict[str, ValidationRow]) -> str:
     return "\n".join(lines)
 
 
-def render_compile_timing(quick: bool = False, jobs: int = 1) -> str:
+def render_compile_timing(quick: bool = False, jobs: int = 1,
+                          config: Optional[FlowConfig] = None) -> str:
     """A ``--timing`` breakdown of one representative compile of each flow.
 
     Shows the HIR pipeline's per-pass report (including verifier time and
@@ -77,24 +80,23 @@ def render_compile_timing(quick: bool = False, jobs: int = 1) -> str:
     its DSE counters (design points examined / pruned / memoized /
     scheduled) on the heaviest kernel, GEMM.
     """
-    from repro.hls import HLSOptions, compile_program
-    from repro.kernels import build_kernel
-    from repro.passes import optimization_pipeline
-    from repro.verilog import generate_verilog
+    from repro.hls import compile_program
 
+    config = config or FlowConfig()
     size = 4 if quick else 16
-    artifacts = build_kernel("gemm", size=size)
-    manager = optimization_pipeline(verify_each=True)
-    manager.run(artifacts.module)
-    generate_verilog(artifacts.module, top=artifacts.top)
+    flow = Flow.from_kernel("gemm", size=size,
+                            config=config.with_(pipeline="optimize"))
+    flow.verilog()
 
-    result = compile_program(artifacts.hls_program, artifacts.hls_function,
-                             options=HLSOptions(jobs=jobs))
+    artifacts = flow.source
+    with config.limits():
+        result = compile_program(artifacts.hls_program, artifacts.hls_function,
+                                 options=config.hls_options(jobs=jobs))
     report = result.report
     lines = [f"Compile timing breakdown (gemm, size={size}, jobs={jobs})",
              "",
              "HIR optimization pipeline:",
-             manager.timing_report(),
+             flow.pass_report(),
              "",
              "HLS baseline phases:"]
     for phase, seconds in report.phase_seconds.items():
@@ -141,17 +143,23 @@ class EvaluationResults:
 
 def run_all(quick: bool = False, sim_engine: Optional[str] = None,
             validate: bool = False, jobs: int = 1,
-            timing: bool = False) -> EvaluationResults:
+            timing: bool = False,
+            config: Optional[FlowConfig] = None) -> EvaluationResults:
     """Regenerate every experiment; ``quick`` shrinks problem sizes.
 
-    ``sim_engine`` sets the process-wide default simulation engine (e.g.
-    ``"compiled"``) before anything simulates; ``validate`` appends a
+    ``config`` is the :class:`~repro.flow.FlowConfig` threaded through every
+    Flow-driven measurement; ``sim_engine`` (kept for compatibility with the
+    pre-Flow CLI) additionally sets the process-wide default simulation
+    engine so non-Flow experiments pick it up too.  ``validate`` appends a
     functional-validation sweep of every kernel to the results.  ``timing``
     appends per-pass / per-phase compile-time breakdowns; ``jobs`` sets the
     fast path's DSE parallelism for that breakdown (results are identical
     at any job count).  The Table 6 columns themselves are never affected:
     the baseline there stays frozen at the seed configuration.
     """
+    config = config or FlowConfig.from_env()
+    if sim_engine is None:
+        sim_engine = config.engine
     previous_engine = None
     if sim_engine is not None:
         from repro.sim import set_default_engine
@@ -165,11 +173,15 @@ def run_all(quick: bool = False, sim_engine: Optional[str] = None,
         results.figure2 = figures.figure2()
         results.figure3 = figures.figure3()
         if validate:
+            # Validation always uses the differential harness (both engines
+            # in lockstep), independent of the engine the experiments use.
             results.validation = validate_kernels(
-                params=QUICK_TABLE5_PARAMS if quick else None)
+                params=QUICK_TABLE5_PARAMS if quick else None,
+                config=config)
         if timing:
             results.compile_timing = render_compile_timing(quick=quick,
-                                                           jobs=jobs)
+                                                           jobs=jobs,
+                                                           config=config)
         return results
     finally:
         if previous_engine is not None:

@@ -17,11 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.flow import Flow, FlowConfig
 from repro.hls.compiler import compile_program
 from repro.kernels import transpose
-from repro.passes import optimization_pipeline
 from repro.resources import ResourceReport, estimate_resources
-from repro.verilog import generate_verilog
 from repro.evaluation.paper_data import PAPER_TABLE4
 
 
@@ -34,11 +33,10 @@ class Table4Row:
 
 
 def _hir_resources(optimize: bool, size: int) -> ResourceReport:
-    design = transpose.build_hir(size)
-    if optimize:
-        optimization_pipeline(verify_each=False).run(design.module)
-    result = generate_verilog(design.module, top="transpose")
-    return estimate_resources(result.design)
+    config = FlowConfig(pipeline="optimize" if optimize else "none",
+                        verify_each=False)
+    flow = Flow(transpose.build_hir(size), top="transpose", config=config)
+    return flow.resources().value
 
 
 def _hls_resources(manual_precision: bool, size: int) -> ResourceReport:

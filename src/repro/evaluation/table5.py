@@ -12,12 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.flow import Flow, FlowConfig
 from repro.hls.compiler import compile_program
 from repro.kernels import build_kernel
 from repro.kernels.fifo import build_verilog_fifo
-from repro.passes import optimization_pipeline
 from repro.resources import ResourceReport, estimate_resources
-from repro.verilog import generate_verilog
 from repro.evaluation.paper_data import PAPER_TABLE5
 
 #: Kernel construction parameters used for the paper-scale run.
@@ -45,10 +44,9 @@ def measure_kernel(name: str, params: Optional[Dict[str, int]] = None,
     """Compile one kernel with both compilers and estimate resources."""
     params = params if params is not None else DEFAULT_PARAMS[name]
     artifacts = build_kernel(name, **params)
-    if optimize:
-        optimization_pipeline(verify_each=False).run(artifacts.module)
-    hir_design = generate_verilog(artifacts.module, top=artifacts.top).design
-    hir_report = estimate_resources(hir_design)
+    config = FlowConfig(pipeline="optimize" if optimize else "none",
+                        verify_each=False)
+    hir_report = Flow(artifacts, config=config).resources().value
     if name == "fifo":
         baseline_design = build_verilog_fifo(params.get("depth", 512))
         baseline_report = estimate_resources(baseline_design)

@@ -1,0 +1,791 @@
+"""One staged, cached, configurable entry point for the whole toolchain.
+
+:class:`Flow` owns the end-to-end HIR pipeline the paper evaluates —
+describe → verify → optimize → Verilog → resources → cycle-accurate
+simulation — as lazy, cached, invalidation-aware stages::
+
+    flow = Flow.from_kernel("gemm", size=8)
+    flow.hir()              # the (structurally verified) HIR module
+    flow.verified()         # schedule-verification report
+    flow.optimized()        # module after the configured pass pipeline
+    flow.verilog()          # generated Design + emitted text + stats
+    flow.resources()        # LUT/FF/DSP/BRAM estimate
+    flow.simulate(seed=3)   # one stimulus set on the configured engine
+    flow.simulate_batch(range(16))   # N stimulus lanes, one compiled design
+    flow.validate(seed=3)   # simulate + compare against the numpy reference
+
+Every stage returns a typed :class:`Artifact` handle that remembers what it
+was built from (``fingerprint`` + ``provenance``), how long it took
+(``seconds``) and whether this access was served from the stage cache
+(``cached``).  Stages are keyed on a content fingerprint of the source
+module, so mutating the module after a compile transparently invalidates
+every downstream artifact — there is no stale-design hazard.
+
+Configuration lives in one place, :class:`FlowConfig`, with a single
+documented precedence (highest wins):
+
+1. **per-call keyword** — ``flow.simulate(seed, engine="compiled")``;
+2. **FlowConfig field** — ``Flow(..., config=FlowConfig(engine="compiled"))``;
+3. **process default** — :func:`repro.sim.set_default_engine`;
+4. **environment** — ``REPRO_SIM_ENGINE``, ``REPRO_DSE_JOBS``,
+   ``REPRO_DSE_EXECUTOR``, ``REPRO_DSE_MEMO_SIZE``, ``REPRO_SIM_CACHE_SIZE``
+   (``FlowConfig.from_env()`` snapshots all of them);
+5. **built-in default**.
+
+The pre-Flow entry points (``generate_verilog``, ``run_design``,
+``run_design_batch``, ``KernelArtifacts.generate_design``) remain as thin
+deprecation shims over the same implementations; a Flow with
+``pipeline="none"`` is byte- and trace-identical to that legacy path
+(enforced by ``tests/flow/test_flow_golden.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time as _time
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generic,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+import numpy as np
+
+from repro.ir.errors import IRError
+from repro.ir.module import ModuleOp
+from repro.ir.printer import print_module
+from repro.ir.verifier import verify as verify_structure
+from repro.hir.ops import FuncOp
+from repro.hir.types import MemrefType
+
+T = TypeVar("T")
+
+#: Pass-pipeline choices accepted by :attr:`FlowConfig.pipeline`.
+PIPELINES: Tuple[str, ...] = ("optimize", "verify", "none", "legacy")
+
+#: Environment variables :meth:`FlowConfig.from_env` snapshots, mapped to the
+#: config field each one feeds.
+ENV_VARS: Dict[str, str] = {
+    "REPRO_SIM_ENGINE": "engine",
+    "REPRO_DSE_JOBS": "dse_jobs",
+    "REPRO_DSE_EXECUTOR": "dse_executor",
+    "REPRO_DSE_MEMO_SIZE": "dse_memo_size",
+    "REPRO_SIM_CACHE_SIZE": "sim_cache_size",
+}
+
+
+class FlowError(IRError):
+    """Raised on Flow misconfiguration (unknown pipeline, missing models...)."""
+
+
+# --------------------------------------------------------------------------- #
+# Configuration
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Every knob of the toolchain in one immutable object.
+
+    ``None`` means "inherit": the engine falls back to the process default
+    (:func:`repro.sim.set_default_engine` / ``REPRO_SIM_ENGINE``), the DSE
+    and cache fields fall back to their ``REPRO_*`` environment defaults.
+    """
+
+    #: Simulation engine ("interpreted", "compiled", "differential").
+    engine: Optional[str] = None
+    #: Pass pipeline run by :meth:`Flow.optimized`: "optimize" (the paper's
+    #: full auto-opt pipeline), "verify" (schedule verification only),
+    #: "none" (byte-identical to the legacy generate_verilog path) or
+    #: "legacy" (the seed pass implementations, kept as an oracle).
+    pipeline: str = "optimize"
+    #: Run the structural verifier on the source module in :meth:`Flow.hir`.
+    verify_structure: bool = True
+    #: Verify the IR after each pass (PassManager(verify_each=...)).
+    verify_each: bool = True
+    #: Code-generator options (None: CodegenOptions() defaults).
+    emit_location_comments: bool = True
+    emit_assertions: bool = False
+    #: Testbench defaults for simulate()/simulate_batch().
+    drain_cycles: int = 16
+    max_cycles: int = 100000
+    #: Baseline-HLS design-space exploration (None: REPRO_DSE_* env).
+    dse_jobs: Optional[int] = None
+    dse_executor: Optional[str] = None
+    dse_memo_size: Optional[int] = None
+    #: Simulator compile-cache bound (None: REPRO_SIM_CACHE_SIZE env).
+    sim_cache_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.pipeline not in PIPELINES:
+            raise FlowError(
+                f"unknown pipeline {self.pipeline!r}; choose one of "
+                f"{list(PIPELINES)}"
+            )
+        if self.engine is not None:
+            from repro.sim.engine import ENGINES
+            if self.engine not in ENGINES:
+                raise FlowError(
+                    f"unknown simulation engine {self.engine!r}; choose one "
+                    f"of {sorted(ENGINES)}"
+                )
+        if self.dse_jobs is not None and self.dse_jobs < 1:
+            raise FlowError(f"dse_jobs must be >= 1, got {self.dse_jobs}")
+        if self.dse_executor is not None and self.dse_executor not in (
+                "thread", "process"):
+            raise FlowError(
+                f"dse_executor must be 'thread' or 'process', "
+                f"got {self.dse_executor!r}"
+            )
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_env(cls, env: Optional[Mapping[str, str]] = None,
+                 **overrides: Any) -> "FlowConfig":
+        """Snapshot every ``REPRO_*`` variable into an explicit config.
+
+        Unset variables stay ``None`` (inherit), so a ``from_env()`` config
+        behaves exactly like the environment it was read from — but frozen
+        at snapshot time.  ``overrides`` are applied on top.
+        """
+        env = os.environ if env is None else env
+        values: Dict[str, Any] = {}
+        if "REPRO_SIM_ENGINE" in env:
+            values["engine"] = env["REPRO_SIM_ENGINE"]
+        for var, attr in (("REPRO_DSE_JOBS", "dse_jobs"),
+                          ("REPRO_DSE_MEMO_SIZE", "dse_memo_size"),
+                          ("REPRO_SIM_CACHE_SIZE", "sim_cache_size")):
+            if var in env:
+                try:
+                    values[attr] = int(env[var])
+                except ValueError:
+                    pass
+        if "REPRO_DSE_EXECUTOR" in env:
+            values["dse_executor"] = env["REPRO_DSE_EXECUTOR"]
+        values.update(overrides)
+        return cls(**values)
+
+    def with_(self, **overrides: Any) -> "FlowConfig":
+        """A copy with ``overrides`` applied (config objects are frozen)."""
+        return replace(self, **overrides)
+
+    # -- resolution (the documented precedence) -----------------------------
+    def resolve_engine(self, override: Optional[str] = None) -> str:
+        """per-call > config > process default (set_default_engine/env)."""
+        if override is not None:
+            return override
+        if self.engine is not None:
+            return self.engine
+        from repro.sim.engine import get_default_engine
+        return get_default_engine()
+
+    def hls_options(self, jobs: Optional[int] = None):
+        """Build :class:`repro.hls.options.HLSOptions` under this config
+        (per-call ``jobs`` wins, then config, then ``REPRO_DSE_*``)."""
+        from repro.hls.options import HLSOptions
+        kwargs: Dict[str, Any] = {}
+        if jobs is not None:
+            kwargs["jobs"] = jobs
+        elif self.dse_jobs is not None:
+            kwargs["jobs"] = self.dse_jobs
+        if self.dse_executor is not None:
+            kwargs["executor"] = self.dse_executor
+        return HLSOptions(**kwargs)
+
+    def codegen_options(self):
+        from repro.verilog.codegen import CodegenOptions
+        return CodegenOptions(
+            emit_location_comments=self.emit_location_comments,
+            emit_assertions=self.emit_assertions,
+        )
+
+    @contextmanager
+    def limits(self):
+        """Install the configured cache bounds for the duration of a stage.
+
+        Fields left ``None`` keep whatever is installed (environment or an
+        outer override); explicit values win and are restored on exit.
+        """
+        from repro.hls.dse import set_memo_capacity
+        from repro.sim.engine.cache import set_cache_capacity
+        previous_sim = previous_memo = None
+        sim_set = memo_set = False
+        try:
+            if self.sim_cache_size is not None:
+                previous_sim = set_cache_capacity(self.sim_cache_size)
+                sim_set = True
+            if self.dse_memo_size is not None:
+                previous_memo = set_memo_capacity(self.dse_memo_size)
+                memo_set = True
+            yield self
+        finally:
+            if sim_set:
+                set_cache_capacity(previous_sim)
+            if memo_set:
+                set_memo_capacity(previous_memo)
+
+    def describe(self) -> str:
+        """One line per field, with inherited fields marked."""
+        lines = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            shown = "<inherit>" if value is None else value
+            lines.append(f"{f.name:<22} {shown}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# Artifact handles
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Artifact(Generic[T]):
+    """A stage result that remembers its provenance and cost.
+
+    ``fingerprint`` identifies the exact inputs (module content + config)
+    the value was built from; ``provenance`` spells those inputs out;
+    ``seconds`` is the time spent *building* the value (0-cost when
+    ``cached`` is True — the handle was served from the stage cache).
+    """
+
+    stage: str
+    value: T
+    seconds: float
+    fingerprint: str
+    provenance: Tuple[Tuple[str, str], ...] = ()
+    cached: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        origin = "cached" if self.cached else f"{self.seconds * 1e3:.2f} ms"
+        return (f"<Artifact {self.stage} [{self.fingerprint[:12]}] "
+                f"{type(self.value).__name__} ({origin})>")
+
+
+class VerilogArtifact:
+    """Value of :meth:`Flow.verilog`: the design, its text, codegen stats.
+
+    ``text`` is emitted lazily on first access (and then cached), so the
+    ``verilog`` stage's ``seconds`` measure code *generation* alone —
+    comparable with the legacy ``generate_verilog().seconds``.
+    """
+
+    def __init__(self, design: Any, statistics: Mapping[str, int]) -> None:
+        self.design = design
+        self.statistics = statistics
+        self._text: Optional[str] = None
+
+    @property
+    def text(self) -> str:
+        if self._text is None:
+            from repro.verilog.emitter import emit_design
+            self._text = emit_design(self.design)
+        return self._text
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<VerilogArtifact top={self.design.top!r} "
+                f"modules={len(self.design.modules)}>")
+
+
+@dataclass(frozen=True)
+class SimulationOutcome:
+    """Value of :meth:`Flow.simulate`."""
+
+    run: Any                      # repro.sim.testbench.SimulationRun
+    inputs: Mapping[str, Any]
+    engine: str
+    seed: Optional[int] = None
+
+    def memory_array(self, name: str):
+        return self.run.memory_array(name)
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Value of :meth:`Flow.simulate_batch`."""
+
+    run: Any                      # repro.sim.engine.batch.BatchedSimulationRun
+    inputs_per_lane: Sequence[Mapping[str, Any]]
+    seeds: Optional[Sequence[int]] = None
+
+    def memory_array(self, name: str, lane: Optional[int] = None):
+        return self.run.memory_array(name, lane)
+
+
+@dataclass(frozen=True)
+class ValidationOutcome:
+    """Value of :meth:`Flow.validate`."""
+
+    name: str
+    engine: str
+    cycles: int
+    ok: bool
+    run: Any = None
+
+
+# --------------------------------------------------------------------------- #
+# The Flow session
+# --------------------------------------------------------------------------- #
+
+
+def _module_fingerprint(module: ModuleOp) -> str:
+    return hashlib.sha256(print_module(module).encode()).hexdigest()[:16]
+
+
+def outputs_match(expected: Mapping[str, Any],
+                  produced: Callable[[str], Any],
+                  output_warmup: Optional[Mapping[str, int]] = None) -> bool:
+    """Compare reference outputs against simulated memories, warmup-aware.
+
+    The single comparison the whole stack shares — :meth:`Flow.validate`,
+    ``KernelArtifacts.check_outputs`` and the CLI sweep all delegate here.
+    ``expected`` maps output names to reference tensors; ``produced(name)``
+    returns the simulated memory contents; ``output_warmup`` gives leading
+    elements the hardware does not produce (skipped on both sides).
+    """
+    warmup = output_warmup or {}
+    for name, reference in expected.items():
+        produced_array = np.asarray(produced(name))
+        reference_array = np.asarray(reference)
+        skip = warmup.get(name, 0)
+        if skip:
+            produced_array = produced_array[skip:]
+            reference_array = reference_array[skip:]
+        if not np.array_equal(produced_array, reference_array):
+            return False
+    return True
+
+
+class Flow:
+    """A session over one design: staged, cached, invalidation-aware.
+
+    ``source`` may be a :class:`~repro.ir.module.ModuleOp`, a
+    :class:`~repro.hir.build.DesignBuilder`, or a
+    :class:`~repro.kernels.base.KernelArtifacts` (which contributes its
+    interfaces, stimulus generator, reference model and external models).
+    Explicit keyword arguments override whatever the source provides.
+    """
+
+    def __init__(
+        self,
+        source: Any,
+        top: Optional[str] = None,
+        *,
+        config: Optional[FlowConfig] = None,
+        name: Optional[str] = None,
+        interfaces: Optional[Mapping[str, MemrefType]] = None,
+        scalar_args: Optional[Mapping[str, int]] = None,
+        make_inputs: Optional[Callable[[int], Dict[str, Any]]] = None,
+        reference: Optional[Callable[[Mapping[str, Any]], Mapping[str, Any]]] = None,
+        external_models: Optional[Mapping[str, Callable]] = None,
+        output_warmup: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        module = source.module if hasattr(source, "module") else source
+        if not isinstance(module, ModuleOp):
+            raise FlowError(
+                f"Flow needs a ModuleOp, a DesignBuilder or KernelArtifacts; "
+                f"got {type(source).__name__}"
+            )
+        #: The object this Flow was constructed from (e.g. KernelArtifacts),
+        #: for callers that need source-side extras such as ``hls_program``.
+        self.source = source
+        self.module = module
+        self.config = config or FlowConfig()
+        pick = lambda override, attr, default: (  # noqa: E731
+            override if override is not None
+            else getattr(source, attr, None) or default)
+        self.top: str = top or getattr(source, "top", None) or self._default_top()
+        # A bare ModuleOp's .name is the op name ("builtin.module"), not a
+        # design name — only non-module sources contribute one.
+        source_name = None if source is module else getattr(source, "name", None)
+        self.name: str = name or source_name or self.top
+        self.interfaces: Dict[str, MemrefType] = dict(
+            pick(interfaces, "interfaces", None) or self._derive_interfaces())
+        self.scalar_args: Dict[str, int] = dict(pick(scalar_args, "scalar_args", {}))
+        self.make_inputs = pick(make_inputs, "make_inputs", None)
+        self.reference = pick(reference, "reference", None)
+        self.external_models: Dict[str, Callable] = dict(
+            pick(external_models, "external_models", {}))
+        self.output_warmup: Dict[str, int] = dict(
+            pick(output_warmup, "output_warmup", {}))
+        #: stage name -> (cache key, artifact)
+        self._stages: Dict[str, Tuple[tuple, Artifact]] = {}
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_kernel(cls, kernel: str, *, config: Optional[FlowConfig] = None,
+                    **parameters: Any) -> "Flow":
+        """Build a registered kernel and wrap it in a Flow.
+
+        Kernel size parameters are passed through to the kernel builder
+        (``Flow.from_kernel("gemm", size=8)``).
+        """
+        from repro.kernels import build_kernel
+        return cls(build_kernel(kernel, **parameters), config=config)
+
+    # -- source introspection ------------------------------------------------
+    def _functions(self) -> List[FuncOp]:
+        return [op for op in self.module.symbols()
+                if isinstance(op, FuncOp) and not op.is_external]
+
+    def _default_top(self) -> str:
+        functions = self._functions()
+        if len(functions) == 1:
+            return functions[0].symbol_name
+        names = [f.symbol_name for f in functions]
+        raise FlowError(
+            f"cannot infer the top function of a module with "
+            f"{len(functions)} functions ({names}); pass Flow(..., top=...)"
+        )
+
+    def _top_func(self) -> FuncOp:
+        func = self.module.lookup(self.top)
+        if not isinstance(func, FuncOp):
+            raise FlowError(f"top function @{self.top} not found in module")
+        return func
+
+    def _derive_interfaces(self) -> Dict[str, MemrefType]:
+        func = self._top_func()
+        return {name: arg.type
+                for arg, name in zip(func.arguments, func.arg_names)
+                if isinstance(arg.type, MemrefType)}
+
+    # -- stage cache --------------------------------------------------------
+    def _stage(self, stage: str, key: tuple, fingerprint: str,
+               provenance: Tuple[Tuple[str, str], ...],
+               build: Callable[[], Tuple[Any, float]]) -> Artifact:
+        cached = self._stages.get(stage)
+        if cached is not None and cached[0] == key:
+            return replace(cached[1], cached=True)
+        value, seconds = build()
+        artifact = Artifact(stage=stage, value=value, seconds=seconds,
+                            fingerprint=fingerprint, provenance=provenance,
+                            cached=False)
+        self._stages[stage] = (key, artifact)
+        return artifact
+
+    def clear(self) -> None:
+        """Drop every cached stage artifact (next access rebuilds)."""
+        self._stages.clear()
+
+    def timings(self) -> Dict[str, float]:
+        """Seconds spent building each currently cached stage."""
+        return {stage: artifact.seconds
+                for stage, (_, artifact) in self._stages.items()}
+
+    # -- stages -------------------------------------------------------------
+    def hir(self) -> Artifact[ModuleOp]:
+        """The source HIR module, structurally verified (lazily, per content)."""
+        fingerprint = _module_fingerprint(self.module)
+        key = (fingerprint, self.config.verify_structure)
+        provenance = (("module", fingerprint),
+                      ("verify_structure", str(self.config.verify_structure)))
+
+        def build():
+            start = _time.perf_counter()
+            if self.config.verify_structure:
+                verify_structure(self.module)
+            return self.module, _time.perf_counter() - start
+
+        return self._stage("hir", key, fingerprint, provenance, build)
+
+    def verified(self):
+        """Schedule-verification report for the source module (no raise)."""
+        from repro.passes.schedule_verifier import verify_schedule
+        parent = self.hir()
+        key = (parent.fingerprint,)
+        provenance = (("module", parent.fingerprint),)
+
+        def build():
+            start = _time.perf_counter()
+            report = verify_schedule(self.module)
+            return report, _time.perf_counter() - start
+
+        return self._stage("verified", key, parent.fingerprint, provenance,
+                           build)
+
+    def _build_manager(self):
+        from repro.passes.pipeline import (
+            optimization_pipeline,
+            verification_pipeline,
+        )
+        pipeline = self.config.pipeline
+        if pipeline == "verify":
+            return verification_pipeline(verify_each=self.config.verify_each)
+        return optimization_pipeline(verify_each=self.config.verify_each,
+                                     legacy=(pipeline == "legacy"))
+
+    def optimized(self) -> Artifact[ModuleOp]:
+        """The module after the configured pass pipeline.
+
+        ``pipeline="none"`` returns the source module untouched (the legacy
+        ``generate_verilog`` behaviour); the optimizing pipelines run on a
+        clone, so the source module is never mutated by a Flow.
+        """
+        parent = self.hir()
+        pipeline = self.config.pipeline
+        key = (parent.fingerprint, pipeline, self.config.verify_each)
+        provenance = (("module", parent.fingerprint),
+                      ("pipeline", pipeline),
+                      ("verify_each", str(self.config.verify_each)))
+
+        def build():
+            start = _time.perf_counter()
+            if pipeline == "none":
+                return self.module, _time.perf_counter() - start
+            if pipeline == "verify":
+                # Verification does not mutate; run it on the source module.
+                self._build_manager().run(self.module)
+                return self.module, _time.perf_counter() - start
+            clone = self.module.clone()
+            manager = self._build_manager()
+            manager.run(clone)
+            self._pass_report = manager.timing_report()
+            return clone, _time.perf_counter() - start
+
+        return self._stage("optimized", key, parent.fingerprint, provenance,
+                           build)
+
+    def pass_report(self) -> Optional[str]:
+        """Per-pass timing report of the last optimize run (None before)."""
+        return getattr(self, "_pass_report", None)
+
+    def verilog(self) -> Artifact[VerilogArtifact]:
+        """Generate Verilog for the optimized module (cached per content)."""
+        from repro.verilog.codegen import generate_verilog_impl
+        parent = self.optimized()
+        # The optimized module is either the source itself (parent
+        # fingerprint IS its content hash) or a Flow-internal clone that
+        # nothing else can mutate and that is a deterministic function of
+        # (source content, pipeline) — so keying on the parent fingerprint +
+        # pipeline is sound and avoids re-printing the clone per access.
+        fingerprint = parent.fingerprint
+        options = self.config.codegen_options()
+        key = (fingerprint, self.config.pipeline, self.config.verify_each,
+               self.top, options.emit_location_comments,
+               options.emit_assertions)
+        provenance = (("optimized", fingerprint), ("top", self.top),
+                      ("pipeline", self.config.pipeline))
+
+        def build():
+            start = _time.perf_counter()
+            result = generate_verilog_impl(parent.value, top=self.top,
+                                           options=options)
+            value = VerilogArtifact(design=result.design,
+                                    statistics=dict(result.statistics))
+            return value, _time.perf_counter() - start
+
+        return self._stage("verilog", key, fingerprint, provenance, build)
+
+    def resources(self):
+        """Estimate FPGA resources of the generated design."""
+        from repro.resources.model import estimate_resources
+        parent = self.verilog()
+        key = (parent.fingerprint,)
+        provenance = (("verilog", parent.fingerprint),)
+
+        def build():
+            start = _time.perf_counter()
+            report = estimate_resources(parent.value.design)
+            return report, _time.perf_counter() - start
+
+        return self._stage("resources", key, parent.fingerprint, provenance,
+                           build)
+
+    # -- simulation ---------------------------------------------------------
+    @property
+    def design(self):
+        """Convenience: the generated :class:`~repro.verilog.ast.Design`."""
+        return self.verilog().value.design
+
+    @property
+    def verilog_text(self) -> str:
+        """Convenience: the emitted Verilog source text."""
+        return self.verilog().value.text
+
+    def _resolve_inputs(self, seed: Optional[int],
+                        inputs: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+        if inputs is None:
+            if self.make_inputs is None:
+                raise FlowError(
+                    f"flow '{self.name}' has no stimulus generator; pass "
+                    "simulate(inputs={...}) or construct the Flow with "
+                    "make_inputs="
+                )
+            return dict(self.make_inputs(0 if seed is None else seed))
+        resolved = dict(inputs)
+        unknown = sorted(set(resolved) - set(self.interfaces))
+        if unknown:
+            raise FlowError(
+                f"unknown interface(s) {unknown}; top @{self.top} exposes "
+                f"{sorted(self.interfaces)}"
+            )
+        for name, memref_type in self.interfaces.items():
+            if name not in resolved:
+                if memref_type.can_read:
+                    # The design reads this memory: running it zero-filled
+                    # would silently compute on garbage.
+                    raise FlowError(
+                        f"missing stimulus for readable interface '{name}' "
+                        f"of @{self.top}; only write-only interfaces may be "
+                        "omitted (they are zero-filled)"
+                    )
+                resolved[name] = np.zeros(memref_type.shape, dtype=np.int64)
+        return resolved
+
+    def simulate(self, seed: int = 0, *,
+                 inputs: Optional[Mapping[str, Any]] = None,
+                 engine: Optional[str] = None,
+                 scalar_args: Optional[Mapping[str, int]] = None,
+                 drain_cycles: Optional[int] = None,
+                 max_cycles: Optional[int] = None,
+                 ) -> Artifact[SimulationOutcome]:
+        """Simulate one stimulus set on the resolved engine.
+
+        Stimuli come from the flow's ``make_inputs(seed)`` generator unless
+        ``inputs`` maps interface names to tensors directly (missing
+        write-only interfaces are zero-filled).  Simulation always runs —
+        only the compile artifacts behind it are cached (the Flow stages
+        plus the per-design engine compile cache).
+        """
+        from repro.sim.testbench import run_design_impl
+        design_artifact = self.verilog()
+        engine_name = self.config.resolve_engine(engine)
+        resolved = self._resolve_inputs(seed, inputs)
+        scalars = {**self.scalar_args, **(scalar_args or {})}
+        provenance = (("verilog", design_artifact.fingerprint),
+                      ("engine", engine_name), ("seed", str(seed)))
+        start = _time.perf_counter()
+        with self.config.limits():
+            run = run_design_impl(
+                design_artifact.value.design,
+                memories={name: (memref_type, resolved[name])
+                          for name, memref_type in self.interfaces.items()},
+                scalar_inputs=scalars,
+                external_models=self.external_models or None,
+                drain_cycles=(self.config.drain_cycles if drain_cycles is None
+                              else drain_cycles),
+                max_cycles=(self.config.max_cycles if max_cycles is None
+                            else max_cycles),
+                engine=engine_name,
+            )
+        seconds = _time.perf_counter() - start
+        outcome = SimulationOutcome(run=run, inputs=resolved,
+                                    engine=engine_name,
+                                    seed=None if inputs is not None else seed)
+        return Artifact(stage="simulate", value=outcome, seconds=seconds,
+                        fingerprint=design_artifact.fingerprint,
+                        provenance=provenance)
+
+    def simulate_batch(self, seeds: Optional[Iterable[int]] = None, *,
+                       inputs_per_lane: Optional[Sequence[Mapping[str, Any]]] = None,
+                       scalar_args: Optional[Mapping[str, int]] = None,
+                       drain_cycles: Optional[int] = None,
+                       max_cycles: Optional[int] = None,
+                       ) -> Artifact[BatchOutcome]:
+        """Simulate one stimulus lane per seed with the batched engine."""
+        from repro.sim.engine.batch import run_design_batch_impl
+        design_artifact = self.verilog()
+        if inputs_per_lane is None:
+            if seeds is None:
+                raise FlowError("simulate_batch needs seeds or inputs_per_lane")
+            seeds = list(seeds)
+            lanes = [self._resolve_inputs(seed, None) for seed in seeds]
+        else:
+            seeds = list(seeds) if seeds is not None else None
+            lanes = [self._resolve_inputs(None, inputs) for inputs in inputs_per_lane]
+        scalars = {**self.scalar_args, **(scalar_args or {})}
+        provenance = (("verilog", design_artifact.fingerprint),
+                      ("engine", "batched"), ("lanes", str(len(lanes))))
+        start = _time.perf_counter()
+        with self.config.limits():
+            run = run_design_batch_impl(
+                design_artifact.value.design,
+                memories={name: (memref_type,
+                                 [inputs[name] for inputs in lanes])
+                          for name, memref_type in self.interfaces.items()},
+                scalar_inputs=scalars,
+                external_models=self.external_models or None,
+                drain_cycles=(self.config.drain_cycles if drain_cycles is None
+                              else drain_cycles),
+                max_cycles=(self.config.max_cycles if max_cycles is None
+                            else max_cycles),
+            )
+        seconds = _time.perf_counter() - start
+        outcome = BatchOutcome(run=run, inputs_per_lane=lanes, seeds=seeds)
+        return Artifact(stage="simulate_batch", value=outcome, seconds=seconds,
+                        fingerprint=design_artifact.fingerprint,
+                        provenance=provenance)
+
+    def validate(self, seed: int = 0, *, engine: Optional[str] = None,
+                 drain_cycles: Optional[int] = None,
+                 max_cycles: Optional[int] = None,
+                 ) -> Artifact[ValidationOutcome]:
+        """Simulate ``seed`` and compare every output to the numpy reference."""
+        if self.reference is None:
+            raise FlowError(
+                f"flow '{self.name}' has no reference model; construct it "
+                "from KernelArtifacts or pass reference="
+            )
+        simulated = self.simulate(seed=seed, engine=engine,
+                                  drain_cycles=drain_cycles,
+                                  max_cycles=max_cycles)
+        outcome = simulated.value
+        ok = self._check_outputs(outcome.run, outcome.inputs)
+        value = ValidationOutcome(name=self.name, engine=outcome.engine,
+                                  cycles=outcome.run.cycles, ok=ok,
+                                  run=outcome.run)
+        return Artifact(stage="validate", value=value,
+                        seconds=simulated.seconds,
+                        fingerprint=simulated.fingerprint,
+                        provenance=simulated.provenance + (("ok", str(ok)),))
+
+    def _check_outputs(self, run, inputs) -> bool:
+        if not run.done:
+            return False
+        return outputs_match(self.reference(inputs), run.memory_array,
+                             self.output_warmup)
+
+    # -- reporting ----------------------------------------------------------
+    def report(self) -> str:
+        """Human-readable summary of the stages built so far."""
+        lines = [f"Flow '{self.name}' (top=@{self.top}, "
+                 f"pipeline={self.config.pipeline})"]
+        for stage, (_, artifact) in self._stages.items():
+            lines.append(f"  {stage:<10} [{artifact.fingerprint[:12]}] "
+                         f"{artifact.seconds * 1e3:9.2f} ms  "
+                         f"{type(artifact.value).__name__}")
+        if not self._stages:
+            lines.append("  (no stages built yet)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Flow '{self.name}' top=@{self.top} "
+                f"pipeline={self.config.pipeline} "
+                f"stages={sorted(self._stages)}>")
+
+
+__all__ = [
+    "Artifact",
+    "BatchOutcome",
+    "ENV_VARS",
+    "Flow",
+    "FlowConfig",
+    "FlowError",
+    "PIPELINES",
+    "SimulationOutcome",
+    "ValidationOutcome",
+    "VerilogArtifact",
+    "outputs_match",
+]

@@ -115,7 +115,24 @@ MemoKey = Tuple[str, bool, int, Tuple[Tuple[str, int], ...]]
 MemoValue = Tuple[LoopSchedule, int, int]  # schedule, registers, memory ops
 
 
+#: Programmatic capacity override (wins over the environment); installed by
+#: :meth:`repro.flow.FlowConfig` for the duration of a Flow-driven compile.
+_memo_capacity_override: Optional[int] = None
+
+
+def set_memo_capacity(size: Optional[int]) -> Optional[int]:
+    """Override the schedule-memo capacity (``None`` restores the
+    ``REPRO_DSE_MEMO_SIZE`` environment default); returns the previous
+    override so callers can restore it."""
+    global _memo_capacity_override
+    previous = _memo_capacity_override
+    _memo_capacity_override = size if size is None else max(0, int(size))
+    return previous
+
+
 def _memo_capacity() -> int:
+    if _memo_capacity_override is not None:
+        return _memo_capacity_override
     try:
         return max(0, int(os.environ.get("REPRO_DSE_MEMO_SIZE", "512")))
     except ValueError:

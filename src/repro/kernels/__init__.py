@@ -3,6 +3,9 @@
 ``KERNEL_BUILDERS`` maps kernel names to their ``build`` functions; each
 returns a :class:`~repro.kernels.base.KernelArtifacts` with the HIR design,
 the matching HLS-baseline program, reference models and input generators.
+Out-of-tree kernels plug into the same registry via :func:`register_kernel`,
+which makes them visible to :meth:`repro.flow.Flow.from_kernel`, the
+``python -m repro`` CLI and the evaluation harness alike.
 """
 
 from typing import Callable, Dict, List
@@ -20,9 +23,62 @@ KERNEL_BUILDERS: Dict[str, Callable[..., KernelArtifacts]] = {
 }
 
 
+class UnknownKernelError(KeyError):
+    """An unregistered kernel name, with the registry spelled out.
+
+    Subclasses :class:`KeyError` so pre-existing ``except KeyError`` callers
+    keep working.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.kernel = name
+        message = (
+            f"unknown kernel {name!r}; registered kernels: "
+            f"{', '.join(sorted(KERNEL_BUILDERS))}. Out-of-tree kernels can "
+            "be added with repro.kernels.register_kernel(name, builder)."
+        )
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+def register_kernel(name: str,
+                    builder: Callable[..., KernelArtifacts],
+                    *, overwrite: bool = False,
+                    ) -> Callable[..., KernelArtifacts]:
+    """Register an out-of-tree kernel builder under ``name``.
+
+    ``builder(**parameters)`` must return a :class:`KernelArtifacts`.  The
+    kernel then works everywhere a built-in one does: ``build_kernel``,
+    ``Flow.from_kernel``, the CLI and the validation sweep.  Returns the
+    builder, so it can be used as a decorator::
+
+        @partial(register_kernel, "fir")
+        def build_fir(taps=8): ...
+    """
+    if not callable(builder):
+        raise TypeError(f"kernel builder for {name!r} must be callable")
+    if name in KERNEL_BUILDERS and not overwrite:
+        raise ValueError(
+            f"kernel {name!r} is already registered; pass overwrite=True to "
+            "replace it"
+        )
+    KERNEL_BUILDERS[name] = builder
+    return builder
+
+
+def unregister_kernel(name: str) -> None:
+    """Remove a kernel from the registry (mainly for tests)."""
+    KERNEL_BUILDERS.pop(name, None)
+
+
 def build_kernel(name: str, **parameters) -> KernelArtifacts:
     """Build one kernel by name with optional size parameters."""
-    return KERNEL_BUILDERS[name](**parameters)
+    builder = KERNEL_BUILDERS.get(name)
+    if builder is None:
+        raise UnknownKernelError(name)
+    return builder(**parameters)
 
 
 def kernel_names() -> List[str]:
@@ -32,9 +88,12 @@ def kernel_names() -> List[str]:
 __all__ = [
     "KERNEL_BUILDERS",
     "KernelArtifacts",
+    "UnknownKernelError",
     "build_kernel",
     "default_rng",
     "kernel_names",
+    "register_kernel",
+    "unregister_kernel",
     "convolution",
     "fifo",
     "gemm",

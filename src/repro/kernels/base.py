@@ -58,27 +58,41 @@ class KernelArtifacts:
         Applies :attr:`output_warmup` so kernel-specific comparison quirks
         live here rather than in every caller.
         """
+        from repro.flow import outputs_match  # local: layering
         if not run.done:
             return False
-        for name, reference in self.reference(inputs).items():
-            produced = np.asarray(run.memory_array(name))
-            reference = np.asarray(reference)
-            skip = self.output_warmup.get(name, 0)
-            if skip:
-                produced, reference = produced[skip:], reference[skip:]
-            if not np.array_equal(produced, reference):
-                return False
-        return True
+        return outputs_match(self.reference(inputs), run.memory_array,
+                             self.output_warmup)
+
+    #: Lazily created Flow session backing the conveniences below.  Stage
+    #: caching (with content-based invalidation) lives in the Flow, so this
+    #: is just a handle — not a cache of compiled state.
+    _flow: Optional[object] = field(default=None, repr=False, compare=False)
+
+    def flow(self, config=None):
+        """The :class:`repro.flow.Flow` session over these artifacts.
+
+        The default config uses ``pipeline="none"``, preserving the historic
+        behaviour of the artifact helpers (simulate exactly the module as
+        built, no optimization passes); pass a
+        :class:`~repro.flow.FlowConfig` for anything else.  The no-config
+        Flow is cached on the artifacts; its stages re-build automatically
+        if :attr:`module` is mutated (content-fingerprinted), which replaces
+        the old ``_design`` attribute hack that served stale designs.
+        """
+        from repro.flow import Flow, FlowConfig  # local: layering
+        if config is not None:
+            return Flow(self, config=config)
+        if self._flow is None:
+            self._flow = Flow(self, config=FlowConfig(pipeline="none"))
+        return self._flow
 
     def generate_design(self):
-        """Compile the HIR module to a Verilog design (cached per artifacts,
-        so repeated simulations share one elaboration and compilation)."""
-        design = getattr(self, "_design", None)
-        if design is None:
-            from repro.verilog import generate_verilog  # local: layering
-            design = generate_verilog(self.module, top=self.top).design
-            self._design = design
-        return design
+        """Deprecated: use ``artifacts.flow().design`` (or ``.verilog()``)."""
+        from repro._compat import warn_deprecated
+        warn_deprecated("KernelArtifacts.generate_design()",
+                        "artifacts.flow().design")
+        return self.flow().design
 
     def simulate(self, seed: int = 0, engine: Optional[str] = None,
                  drain_cycles: int = 16, max_cycles: int = 100000):
@@ -88,19 +102,10 @@ class KernelArtifacts:
         :class:`~repro.sim.testbench.SimulationRun` and ``inputs`` the tensors
         generated from ``seed`` (feed them to :attr:`reference`).
         """
-        from repro.sim import run_design  # local: layering
-        inputs = self.make_inputs(seed)
-        run = run_design(
-            self.generate_design(),
-            memories={name: (memref_type, inputs[name])
-                      for name, memref_type in self.interfaces.items()},
-            scalar_inputs=self.scalar_args,
-            external_models=self.external_models or None,
-            drain_cycles=drain_cycles,
-            max_cycles=max_cycles,
-            engine=engine,
-        )
-        return run, inputs
+        outcome = self.flow().simulate(seed=seed, engine=engine,
+                                       drain_cycles=drain_cycles,
+                                       max_cycles=max_cycles).value
+        return outcome.run, outcome.inputs
 
     def simulate_batch(self, seeds, drain_cycles: int = 16,
                        max_cycles: int = 100000):
@@ -109,19 +114,10 @@ class KernelArtifacts:
         Returns ``(run, inputs_per_lane)`` where ``run`` is a
         :class:`~repro.sim.engine.batch.BatchedSimulationRun`.
         """
-        from repro.sim import run_design_batch  # local: layering
-        inputs_per_lane = [self.make_inputs(seed) for seed in seeds]
-        run = run_design_batch(
-            self.generate_design(),
-            memories={name: (memref_type,
-                             [inputs[name] for inputs in inputs_per_lane])
-                      for name, memref_type in self.interfaces.items()},
-            scalar_inputs=self.scalar_args,
-            external_models=self.external_models or None,
-            drain_cycles=drain_cycles,
-            max_cycles=max_cycles,
-        )
-        return run, inputs_per_lane
+        outcome = self.flow().simulate_batch(seeds,
+                                             drain_cycles=drain_cycles,
+                                             max_cycles=max_cycles).value
+        return outcome.run, outcome.inputs_per_lane
 
 
 def default_rng(seed: int) -> np.random.Generator:

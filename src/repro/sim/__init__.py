@@ -17,6 +17,8 @@ from repro.sim.engine import (
     create_simulator,
     get_default_engine,
     run_design_batch,
+    run_design_batch_impl,
+    set_cache_capacity,
     set_default_engine,
 )
 from repro.sim.testbench import (
@@ -24,6 +26,7 @@ from repro.sim.testbench import (
     SimulationRun,
     flatten_tensor,
     run_design,
+    run_design_impl,
     unflatten_tensor,
 )
 from repro.sim.verilog_sim import (
@@ -47,6 +50,9 @@ __all__ = [
     "get_default_engine",
     "run_design",
     "run_design_batch",
+    "run_design_batch_impl",
+    "run_design_impl",
+    "set_cache_capacity",
     "set_default_engine",
     "unflatten_tensor",
     "ExternalModel",

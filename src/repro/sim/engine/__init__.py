@@ -36,8 +36,13 @@ from repro.sim.engine.batch import (
     BatchedSimulationRun,
     BatchedSimulator,
     run_design_batch,
+    run_design_batch_impl,
 )
-from repro.sim.engine.cache import clear_compile_cache, compile_cache_size
+from repro.sim.engine.cache import (
+    clear_compile_cache,
+    compile_cache_size,
+    set_cache_capacity,
+)
 from repro.sim.engine.compiled import CompiledSimulator
 from repro.sim.engine.differential import DifferentialSimulator, DivergenceError
 from repro.sim.engine.levelize import LoweredDesign, lower_design
@@ -110,5 +115,7 @@ __all__ = [
     "get_default_engine",
     "lower_design",
     "run_design_batch",
+    "run_design_batch_impl",
+    "set_cache_capacity",
     "set_default_engine",
 ]

@@ -46,7 +46,24 @@ _CACHE: "OrderedDict[int, dict]" = OrderedDict()
 _FINALIZED: set = set()
 
 
+#: Programmatic capacity override (wins over the environment); installed by
+#: :meth:`repro.flow.FlowConfig` for the duration of a Flow-driven run.
+_capacity_override: Optional[int] = None
+
+
+def set_cache_capacity(size: Optional[int]) -> Optional[int]:
+    """Override the compile-cache capacity (``None`` restores the
+    ``REPRO_SIM_CACHE_SIZE`` environment default); returns the previous
+    override so callers can restore it."""
+    global _capacity_override
+    previous = _capacity_override
+    _capacity_override = size if size is None else max(0, int(size))
+    return previous
+
+
 def _cache_capacity() -> int:
+    if _capacity_override is not None:
+        return _capacity_override
     try:
         return max(0, int(os.environ.get("REPRO_SIM_CACHE_SIZE", "64")))
     except ValueError:
@@ -136,4 +153,4 @@ def clear_compile_cache() -> None:
 
 
 __all__ = ["CompiledArtifacts", "clear_compile_cache", "compile_cache_size",
-           "compiled_artifacts"]
+           "compiled_artifacts", "set_cache_capacity"]

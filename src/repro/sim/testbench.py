@@ -112,7 +112,7 @@ class SimulationRun:
         return self.memories[name].as_array()
 
 
-def run_design(
+def run_design_impl(
     design: Design,
     memories: Optional[Dict[str, tuple]] = None,
     scalar_inputs: Optional[Dict[str, int]] = None,
@@ -128,7 +128,8 @@ def run_design(
     data)``; ``scalar_inputs`` provides values for primitive arguments.
     ``engine`` selects the simulation engine (``"interpreted"``,
     ``"compiled"`` or ``"differential"``; default: the process-wide default,
-    see :func:`repro.sim.engine.set_default_engine`).
+    see :func:`repro.sim.engine.set_default_engine`).  This is the
+    non-deprecated core that :meth:`repro.flow.Flow.simulate` drives.
     """
     simulator = create_simulator(design, top=top,
                                  external_models=external_models,
@@ -171,4 +172,25 @@ def run_design(
         results=results,
         memories=interface_memories,
         simulator=simulator,
+    )
+
+
+def run_design(
+    design: Design,
+    memories: Optional[Dict[str, tuple]] = None,
+    scalar_inputs: Optional[Dict[str, int]] = None,
+    top: Optional[str] = None,
+    external_models: Optional[Dict[str, Callable[[], ExternalModel]]] = None,
+    max_cycles: int = 100000,
+    drain_cycles: int = 4,
+    engine: Optional[str] = None,
+) -> SimulationRun:
+    """Deprecated shim over :func:`run_design_impl`; use
+    ``repro.flow.Flow(...).simulate(...)`` instead."""
+    from repro._compat import warn_deprecated
+    warn_deprecated("run_design()", "Flow(...).simulate(...)")
+    return run_design_impl(
+        design, memories=memories, scalar_inputs=scalar_inputs, top=top,
+        external_models=external_models, max_cycles=max_cycles,
+        drain_cycles=drain_cycles, engine=engine,
     )

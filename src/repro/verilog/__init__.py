@@ -34,6 +34,7 @@ from repro.verilog.codegen import (
     FunctionLowering,
     VerilogCodeGenerator,
     generate_verilog,
+    generate_verilog_impl,
 )
 from repro.verilog.emitter import emit_design, emit_expr, emit_module
 from repro.verilog.fsm import LoopController, LoopSignals, PulseGenerator
@@ -46,7 +47,7 @@ __all__ = [
     "Module", "NonBlockingAssign", "OUTPUT", "Port", "Ref", "RegDecl",
     "Ternary", "UnOp", "Wire", "const", "or_reduce", "ref",
     "CodegenOptions", "CodegenResult", "FunctionLowering",
-    "VerilogCodeGenerator", "generate_verilog",
+    "VerilogCodeGenerator", "generate_verilog", "generate_verilog_impl",
     "emit_design", "emit_expr", "emit_module",
     "LoopController", "LoopSignals", "PulseGenerator",
     "MemAccess", "MemoryLowering", "interface_signals",

@@ -556,7 +556,18 @@ class VerilogCodeGenerator:
         return module
 
 
+def generate_verilog_impl(module: ModuleOp, top: Optional[str] = None,
+                          options: Optional[CodegenOptions] = None,
+                          ) -> CodegenResult:
+    """Run the code generator over ``module`` (the non-deprecated core that
+    :meth:`repro.flow.Flow.verilog` is built on)."""
+    return VerilogCodeGenerator(module, options).generate(top)
+
+
 def generate_verilog(module: ModuleOp, top: Optional[str] = None,
                      options: Optional[CodegenOptions] = None) -> CodegenResult:
-    """Convenience wrapper: run the code generator over ``module``."""
-    return VerilogCodeGenerator(module, options).generate(top)
+    """Deprecated convenience wrapper; use
+    ``repro.flow.Flow(module, top=...).verilog()`` instead."""
+    from repro._compat import warn_deprecated
+    warn_deprecated("generate_verilog()", "Flow(module, top=...).verilog()")
+    return generate_verilog_impl(module, top=top, options=options)
