@@ -99,7 +99,8 @@ def run_sweep(params, variant):
     return total, texts, reports
 
 
-def run_benchmark(params, min_speedup=MIN_SPEEDUP, verbose=True):
+def run_benchmark(params, min_speedup=MIN_SPEEDUP, verbose=True,
+                  json_path=None):
     seed_seconds, seed_texts, _ = run_sweep(params, "seed")
     fast_seconds, fast_texts, fast_reports = run_sweep(params, "fast")
     par_seconds, par_texts, par_reports = run_sweep(params, "parallel")
@@ -129,6 +130,23 @@ def run_benchmark(params, min_speedup=MIN_SPEEDUP, verbose=True):
         print(f"  DSE design points: {examined} examined, {pruned} pruned, "
               f"{scheduled} scheduled")
 
+    if json_path:
+        from conftest import write_bench_json
+        write_bench_json(json_path, [{
+            "name": "compile-sweep",
+            "kernels": sorted(params),
+            "seed_seconds": seed_seconds,
+            "fast_seconds": fast_seconds,
+            "parallel_seconds": par_seconds,
+            "parallel_jobs": PARALLEL_JOBS,
+            "speedup": speedup,
+            "dse_examined": examined,
+            "dse_pruned": pruned,
+            "dse_scheduled": scheduled,
+        }])
+        if verbose:
+            print(f"  wrote {json_path}")
+
     assert speedup >= min_speedup, (
         f"fast compile path only {speedup:.2f}x faster than the seed "
         f"(required {min_speedup}x)")
@@ -154,10 +172,13 @@ def main(argv=None):
     parser.add_argument("--min-speedup", type=float, default=None,
                         help=f"override the speedup bar (default "
                              f"{MIN_SPEEDUP} or REPRO_COMPILE_MIN_SPEEDUP)")
+    parser.add_argument("--json", default=os.environ.get("REPRO_BENCH_JSON"),
+                        help="write the measurements to this JSON file "
+                             "(default: $REPRO_BENCH_JSON if set)")
     arguments = parser.parse_args(argv)
     params = SMOKE_PARAMS if arguments.smoke else PAPER_PARAMS
     bar = arguments.min_speedup if arguments.min_speedup is not None else MIN_SPEEDUP
-    speedup = run_benchmark(params, min_speedup=bar)
+    speedup = run_benchmark(params, min_speedup=bar, json_path=arguments.json)
     print(f"ok: {speedup:.1f}x")
     return 0
 

@@ -32,7 +32,8 @@ GEMM_MIN_SPEEDUP = float(os.environ.get("REPRO_GEMM_MIN_SPEEDUP", "3.0"))
     ("histogram", {"pixels": 64, "bins": 32}),
     ("fifo", {"depth": 64}),
 ], ids=["transpose-8", "stencil-32", "histogram-64", "fifo-64"])
-def test_simulate_generated_design(benchmark, kernel, params, engine):
+def test_simulate_generated_design(benchmark, bench_recorder, kernel, params,
+                                   engine):
     artifacts = build_kernel(kernel, **params)
     design = generate_verilog(artifacts.module, top=artifacts.top).design
     inputs = artifacts.make_inputs(0)
@@ -47,7 +48,11 @@ def test_simulate_generated_design(benchmark, kernel, params, engine):
             engine=engine,
         )
 
+    start = time.perf_counter()
     result = benchmark.pedantic(run, rounds=1, iterations=1)
+    bench_recorder(f"simulate/{kernel}/{engine}",
+                   seconds=time.perf_counter() - start,
+                   cycles=int(result.cycles))
     assert result.done
     expected = artifacts.reference(inputs)
     for name, reference in expected.items():
@@ -59,7 +64,7 @@ def test_simulate_generated_design(benchmark, kernel, params, engine):
 
 
 @pytest.mark.table("simulation")
-def test_compiled_engine_speedup_on_gemm():
+def test_compiled_engine_speedup_on_gemm(bench_recorder):
     """The compiled engine is >= 3x faster than the interpreter on the
     paper-scale GEMM, even paying elaboration + compilation in-run; a warm
     second run amortizes compilation entirely."""
@@ -85,6 +90,11 @@ def test_compiled_engine_speedup_on_gemm():
 
     cold_speedup = interpreted_seconds / cold_seconds
     warm_speedup = interpreted_seconds / warm_seconds
+    bench_recorder("engine-speedup/gemm-16",
+                   interpreted_seconds=interpreted_seconds,
+                   cold_seconds=cold_seconds, warm_seconds=warm_seconds,
+                   cold_speedup=cold_speedup, warm_speedup=warm_speedup,
+                   cycles=int(interpreted.cycles))
     print(f"\nGEMM 16x16 ({interpreted.cycles} cycles): "
           f"interpreted {interpreted_seconds:.3f}s, "
           f"compiled cold {cold_seconds:.3f}s ({cold_speedup:.1f}x), "
@@ -97,7 +107,7 @@ def test_compiled_engine_speedup_on_gemm():
 
 
 @pytest.mark.table("simulation")
-def test_batched_engine_amortizes_stimulus_sweep():
+def test_batched_engine_amortizes_stimulus_sweep(bench_recorder):
     """Batched lanes beat one interpreted run per stimulus set; every lane
     still matches the numpy reference exactly."""
     artifacts = build_kernel("gemm", size=8)
@@ -118,6 +128,11 @@ def test_batched_engine_amortizes_stimulus_sweep():
         expected = artifacts.reference(lane_inputs)["C"]
         assert np.array_equal(batch.memory_array("C", lane), expected)
 
+    bench_recorder("batched-sweep/gemm-8",
+                   lanes=len(seeds),
+                   interpreted_seconds_per_run=interpreted_per_run,
+                   batched_seconds_per_run=batched_per_run,
+                   per_scenario_speedup=interpreted_per_run / batched_per_run)
     print(f"\nGEMM 8x8 x{len(seeds)} stimuli: interpreted "
           f"{interpreted_per_run:.3f}s/run, batched {batched_per_run:.3f}s/run "
           f"({interpreted_per_run / batched_per_run:.1f}x per scenario)")

@@ -6,14 +6,53 @@ kernel sizes match the paper's configuration (16x16 GEMM, 256-bin histogram,
 a single round so the whole harness stays in the minutes range.
 """
 
+import json
 import os
+import platform
 import sys
+import time
 
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 if _SRC not in sys.path:
     sys.path.insert(0, os.path.abspath(_SRC))
 
 import pytest
+
+#: Measurements accumulated by the bench_* modules during one pytest run,
+#: written to $REPRO_BENCH_JSON at session end (one file per run, so CI can
+#: upload it as an artifact and the perf trajectory accumulates per commit).
+BENCH_RECORDS = []
+
+
+def record_benchmark(name, **metrics):
+    """Append one named measurement (floats/ints/strings only)."""
+    BENCH_RECORDS.append({"name": name, **metrics})
+
+
+def write_bench_json(path, records):
+    payload = {
+        "schema": 1,
+        "unix_time": time.time(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "records": sorted(records, key=lambda record: record["name"]),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if path and BENCH_RECORDS:
+        write_bench_json(path, BENCH_RECORDS)
+
+
+@pytest.fixture(scope="session")
+def bench_recorder():
+    """The benchmark-measurement recorder (see :func:`record_benchmark`)."""
+    return record_benchmark
 
 
 def pytest_configure(config):

@@ -12,6 +12,8 @@ Top-level layout:
 * :mod:`repro.sim`        — cycle-accurate simulators for generated designs.
 * :mod:`repro.hls`        — a Vivado-HLS-like baseline compiler used by the evaluation.
 * :mod:`repro.kernels`    — the paper's benchmark kernels (HIR and HLS variants).
+* :mod:`repro.fuzz`       — differential fuzzing of all of the above: random
+                            programs cross-checked over pipelines/engines/cache.
 * :mod:`repro.evaluation` — harness regenerating every table and figure.
 
 The package namespace re-exports the session API lazily, so ``import repro``
@@ -36,6 +38,7 @@ _LAZY_EXPORTS = {
     "build_kernel": ("repro.kernels", "build_kernel"),
     "kernel_names": ("repro.kernels", "kernel_names"),
     "register_kernel": ("repro.kernels", "register_kernel"),
+    "run_fuzz": ("repro.fuzz", "run_fuzz"),
 }
 
 __all__ = ["__version__", *sorted(_LAZY_EXPORTS)]

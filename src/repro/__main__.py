@@ -7,6 +7,8 @@ Subcommands mirror the :class:`repro.flow.Flow` stages:
 * ``simulate``  — one stimulus set, checked against the numpy reference.
 * ``sweep``     — N stimulus lanes on the batched engine, all checked.
 * ``report``    — the full evaluation harness (Tables 4–6, Figures 1–3).
+* ``fuzz``      — differential fuzzing: random HIR programs cross-checked
+  over pipelines, engines and the Flow stage cache.
 
 Kernel size parameters are passed as repeated ``-p key=value`` options::
 
@@ -14,6 +16,7 @@ Kernel size parameters are passed as repeated ``-p key=value`` options::
     python -m repro simulate transpose -p size=8 --engine compiled
     python -m repro sweep gemm -p size=4 --seeds 8
     python -m repro report --quick --validate
+    python -m repro fuzz --seed 0 --count 100 --max-ops 40
 """
 
 from __future__ import annotations
@@ -135,6 +138,30 @@ def _cmd_report(arguments) -> int:
     return 0
 
 
+def _cmd_fuzz(arguments) -> int:
+    from repro.fuzz import DEFAULT_OUT_DIR, ORACLES, run_fuzz
+
+    out_dir = arguments.out_dir or DEFAULT_OUT_DIR
+    oracles = tuple(ORACLES)
+    if arguments.oracles:
+        oracles = tuple(name.strip()
+                        for name in arguments.oracles.split(",") if name.strip())
+        unknown = sorted(set(oracles) - set(ORACLES))
+        if unknown:
+            raise SystemExit(
+                f"unknown oracle(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(ORACLES)}")
+    report = run_fuzz(seed=arguments.seed,
+                      count=arguments.count,
+                      max_ops=arguments.max_ops,
+                      out_dir=None if arguments.no_repro else out_dir,
+                      oracles=oracles,
+                      shrink_failures=not arguments.no_shrink,
+                      log=lambda line: print(line, file=sys.stderr))
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -195,12 +222,50 @@ def build_parser() -> argparse.ArgumentParser:
                         help="append compile-timing breakdowns")
     report.set_defaults(handler=_cmd_report)
 
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzzing: random programs over every oracle")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="first program seed (default 0)")
+    fuzz.add_argument("--count", type=int, default=100,
+                      help="number of programs to generate (default 100)")
+    fuzz.add_argument("--max-ops", type=int, default=40,
+                      help="compute-op budget per program (default 40)")
+    fuzz.add_argument("--out-dir", default=None,
+                      help="directory for minimized reproducer scripts "
+                           "(default fuzz-failures/)")
+    fuzz.add_argument("--oracles", default=None,
+                      help="comma-separated subset of: pipeline, engines, "
+                           "flow-cache (default: all)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report raw failures without minimizing them")
+    fuzz.add_argument("--no-repro", action="store_true",
+                      help="do not write reproducer scripts")
+    fuzz.set_defaults(handler=_cmd_fuzz)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Parse and dispatch; tool errors become one-line messages, not
+    tracebacks (the contract ``tests/cli`` pins down)."""
+    from repro.ir.errors import IRError
+    from repro.kernels import UnknownKernelError
+
     arguments = build_parser().parse_args(argv)
-    return arguments.handler(arguments)
+    try:
+        return arguments.handler(arguments)
+    except UnknownKernelError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except IRError as error:
+        # FlowError, ScheduleError, SimulationError... — user-facing tool
+        # errors with curated messages; unexpected exceptions still traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

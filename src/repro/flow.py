@@ -41,7 +41,6 @@ deprecation shims over the same implementations; a Flow with
 
 from __future__ import annotations
 
-import hashlib
 import os
 import time as _time
 from contextlib import contextmanager
@@ -64,7 +63,7 @@ import numpy as np
 
 from repro.ir.errors import IRError
 from repro.ir.module import ModuleOp
-from repro.ir.printer import print_module
+from repro.ir.printer import module_fingerprint
 from repro.ir.verifier import verify as verify_structure
 from repro.hir.ops import FuncOp
 from repro.hir.types import MemrefType
@@ -339,10 +338,6 @@ class ValidationOutcome:
 # --------------------------------------------------------------------------- #
 
 
-def _module_fingerprint(module: ModuleOp) -> str:
-    return hashlib.sha256(print_module(module).encode()).hexdigest()[:16]
-
-
 def outputs_match(expected: Mapping[str, Any],
                   produced: Callable[[str], Any],
                   output_warmup: Optional[Mapping[str, int]] = None) -> bool:
@@ -487,7 +482,7 @@ class Flow:
     # -- stages -------------------------------------------------------------
     def hir(self) -> Artifact[ModuleOp]:
         """The source HIR module, structurally verified (lazily, per content)."""
-        fingerprint = _module_fingerprint(self.module)
+        fingerprint = module_fingerprint(self.module)
         key = (fingerprint, self.config.verify_structure)
         provenance = (("module", fingerprint),
                       ("verify_structure", str(self.config.verify_structure)))

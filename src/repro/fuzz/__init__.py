@@ -1,0 +1,79 @@
+"""Differential fuzzing of the HIR toolchain (``python -m repro fuzz``).
+
+The repo's redundancy — two pass pipelines, three simulation engines, a
+cached Flow session — gives every randomly generated program several
+independent paths that must agree.  This package turns that redundancy into
+an automatic bug-finding machine:
+
+* :mod:`repro.fuzz.generator` — seeded, size-bounded random generation of
+  type- and schedule-correct HIR programs (:class:`ProgramSpec`),
+* :mod:`repro.fuzz.spec` — the JSON-round-trippable spec and its
+  deterministic materializer,
+* :mod:`repro.fuzz.oracles` — the cross-pipeline, cross-engine and
+  Flow-stage-cache equivalence checks,
+* :mod:`repro.fuzz.shrink` — delta debugging of failing specs down to
+  minimal reproducers,
+* :mod:`repro.fuzz.runner` — the campaign driver and the self-contained
+  reproducer scripts it writes (one per failing seed).
+
+Quick use::
+
+    from repro.fuzz import run_fuzz
+    report = run_fuzz(seed=0, count=100, max_ops=40)
+    assert report.ok, report.render()
+"""
+
+from repro.fuzz.generator import generate_spec
+from repro.fuzz.oracles import (
+    ORACLES,
+    OracleFailure,
+    check_engines,
+    check_flow_cache,
+    check_generator,
+    check_pipeline,
+    check_program,
+)
+from repro.fuzz.runner import (
+    DEFAULT_OUT_DIR,
+    FuzzFailure,
+    FuzzReport,
+    fuzz_one,
+    replay_spec,
+    run_fuzz,
+    write_repro,
+)
+from repro.fuzz.shrink import ShrinkResult, shrink
+from repro.fuzz.spec import (
+    MaterializedProgram,
+    OpSpec,
+    ProgramSpec,
+    SpecError,
+    WriteSpec,
+    materialize,
+)
+
+__all__ = [
+    "DEFAULT_OUT_DIR",
+    "FuzzFailure",
+    "FuzzReport",
+    "MaterializedProgram",
+    "ORACLES",
+    "OpSpec",
+    "OracleFailure",
+    "ProgramSpec",
+    "ShrinkResult",
+    "SpecError",
+    "WriteSpec",
+    "check_engines",
+    "check_flow_cache",
+    "check_generator",
+    "check_pipeline",
+    "check_program",
+    "fuzz_one",
+    "generate_spec",
+    "materialize",
+    "replay_spec",
+    "run_fuzz",
+    "shrink",
+    "write_repro",
+]

@@ -1,0 +1,189 @@
+"""Seeded, size-bounded random generation of :class:`ProgramSpec`.
+
+The generator draws every structural decision — nest depth, loop extents,
+initiation interval, iteration offsets, interface counts, read schedules,
+the compute DAG and the output writes — from one ``random.Random(seed)``
+stream, so a seed fully determines the program.  Programs are *type- and
+schedule-correct by construction*: the generator only proposes operand
+combinations the materializer can align with ``hir.delay``, keeps shift
+amounts and cast widths in hardware-sensible ranges, and never builds an
+all-constant multiply or shift (whose constant folding could grow values
+without bound and drown the interesting rewrites).
+
+Bias choices worth knowing about:
+
+* constants are drawn mostly from small powers of two and their neighbours,
+  so strength reduction (``x * 2**k`` → ``x << k``) and canonicalization
+  patterns fire often;
+* ``ii`` leans toward 1 (fully pipelined), the regime where operand-validity
+  windows are tightest;
+* op results are preferred over leaves when picking operands, producing
+  deep dataflow rather than a wide bag of independent ops.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.fuzz.spec import (
+    BINARY_KINDS,
+    OpSpec,
+    ProgramSpec,
+    WriteSpec,
+    is_const_ref,
+    result_offset,
+)
+from repro.hir.ops import CMP_PREDICATES
+
+#: Constants biased toward strength-reduction and canonicalization triggers.
+CONST_POOL = (0, 1, 2, 3, 4, 5, 7, 8, 12, 15, 16, 17, 31, 32, 64, -1, -2, -5)
+
+#: Deepest validity offset the generator schedules a value at.  Bounds the
+#: delay-register chains the materializer inserts (and the loop drain time).
+MAX_OFFSET = 8
+
+#: Hard ceiling on compute ops per program regardless of ``max_ops``.
+OP_CEILING = 256
+
+
+def generate_spec(seed: int, max_ops: int = 40) -> ProgramSpec:
+    """One random, schedule-valid program spec for ``seed``."""
+    if max_ops < 1:
+        raise ValueError(f"max_ops must be >= 1, got {max_ops}")
+    rng = random.Random(seed)
+    rank = 1 if rng.random() < 0.6 else 2
+    sizes = tuple(([rng.randint(2, 4)] if rank == 2 else [])
+                  + [rng.randint(4, 8)])
+    ii = rng.choice((1, 1, 1, 2, 3))
+    n_inputs = rng.randint(1, 3)
+    n_outputs = rng.randint(1, 2)
+    iter_offsets = tuple(rng.randint(1, 2) for _ in range(rank))
+    read_offsets = tuple(rng.choice((0, 0, 0, 1)) for _ in range(n_inputs))
+    output_ports = tuple(rng.choice(("w", "w", "w", "rw"))
+                         for _ in range(n_outputs))
+
+    # The operand pool: (ref, validity offset) with None meaning timeless.
+    pool: List[Tuple[str, Optional[int]]] = [("iv", 0)]
+    pool += [(f"in{k}", read_offsets[k] + 1) for k in range(n_inputs)]
+    pool += [(f"c:{rng.choice(CONST_POOL)}", None) for _ in range(3)]
+
+    ops: List[OpSpec] = []
+    n_ops = rng.randint(1, min(max_ops, OP_CEILING))
+    while len(ops) < n_ops:
+        op = _random_op(rng, pool)
+        if op is None:
+            break
+        offsets = [_pool_offset(pool, ref) for ref in op.operands]
+        pool.append((f"op{len(ops)}", result_offset(op.kind, offsets,
+                                                    op.params)))
+        ops.append(op)
+
+    writes = []
+    for output in range(n_outputs):
+        writes.append(WriteSpec(
+            output=output,
+            value=_pick_write_value(rng, pool),
+            index_perm=tuple(rng.sample(range(rank), rank)),
+        ))
+
+    return ProgramSpec(
+        seed=seed,
+        sizes=sizes,
+        ii=ii,
+        n_inputs=n_inputs,
+        n_outputs=n_outputs,
+        ops=tuple(ops),
+        writes=tuple(writes),
+        iter_offsets=iter_offsets,
+        read_offsets=read_offsets,
+        output_ports=output_ports,
+    )
+
+
+def _pool_offset(pool: List[Tuple[str, Optional[int]]],
+                 ref: str) -> Optional[int]:
+    for candidate, offset in pool:
+        if candidate == ref:
+            return offset
+    return None  # constants
+
+
+def _pick(rng: random.Random, pool: List[Tuple[str, Optional[int]]],
+          timed: Optional[bool] = None,
+          max_offset: Optional[int] = None) -> Optional[Tuple[str, Optional[int]]]:
+    """A random pool entry, preferring recent (deep-dataflow) entries.
+
+    ``timed=True`` restricts to cycle-bound values, ``timed=False`` to
+    constants; ``max_offset`` bounds how deep in the pipeline the value is.
+    """
+    candidates = [
+        (ref, offset) for ref, offset in pool
+        if (timed is None or (offset is not None) == timed)
+        and (max_offset is None or offset is None or offset <= max_offset)
+    ]
+    if not candidates:
+        return None
+    # Squared draw: later entries (op results) are picked more often.
+    index = max(rng.randrange(len(candidates)), rng.randrange(len(candidates)))
+    return candidates[index]
+
+
+def _random_op(rng: random.Random,
+               pool: List[Tuple[str, Optional[int]]]) -> Optional[OpSpec]:
+    kind = rng.choices(
+        ("binary", "shift", "cmpsel", "castpair", "delay"),
+        weights=(50, 15, 10, 10, 15),
+    )[0]
+    if kind == "binary":
+        op_kind = rng.choice(BINARY_KINDS)
+        first = _pick(rng, pool, timed=True, max_offset=MAX_OFFSET)
+        second = _pick(rng, pool, max_offset=MAX_OFFSET)
+        if first is None or second is None:
+            return None
+        operands = [first[0], second[0]]
+        rng.shuffle(operands)
+        return OpSpec(kind=op_kind, operands=tuple(operands))
+    if kind == "shift":
+        operand = _pick(rng, pool, timed=True, max_offset=MAX_OFFSET)
+        if operand is None:
+            return None
+        return OpSpec(kind=rng.choice(("shl", "shr")),
+                      operands=(operand[0],),
+                      params=(rng.randint(0, 3),))
+    if kind == "cmpsel":
+        picks = [_pick(rng, pool, max_offset=MAX_OFFSET) for _ in range(4)]
+        if any(pick is None for pick in picks):
+            return None
+        return OpSpec(kind="cmpsel",
+                      operands=tuple(pick[0] for pick in picks),
+                      predicate=rng.choice(CMP_PREDICATES))
+    if kind == "castpair":
+        operand = _pick(rng, pool, max_offset=MAX_OFFSET)
+        if operand is None:
+            return None
+        return OpSpec(kind="castpair", operands=(operand[0],),
+                      params=(rng.randint(4, 24),))
+    # delay: explicit re-timing of an already cycle-bound value.
+    cycles = rng.randint(1, 2)
+    operand = _pick(rng, pool, timed=True, max_offset=MAX_OFFSET - cycles)
+    if operand is None:
+        return None
+    return OpSpec(kind="delay", operands=(operand[0],), params=(cycles,))
+
+
+def _pick_write_value(rng: random.Random,
+                      pool: List[Tuple[str, Optional[int]]]) -> str:
+    # Prefer op results so the written value exercises the generated DAG;
+    # fall back to any non-constant, then anything.
+    results = [ref for ref, _ in pool if ref.startswith("op")]
+    if results and rng.random() < 0.85:
+        return rng.choice(results)
+    timed = [ref for ref, offset in pool
+             if offset is not None and not is_const_ref(ref)]
+    if timed and rng.random() < 0.9:
+        return rng.choice(timed)
+    return rng.choice([ref for ref, _ in pool])
+
+
+__all__ = ["CONST_POOL", "MAX_OFFSET", "OP_CEILING", "generate_spec"]

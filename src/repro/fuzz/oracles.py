@@ -1,0 +1,363 @@
+"""Differential oracles: every redundant path through the toolchain is a bug
+detector.
+
+The repo deliberately keeps redundant implementations — a legacy full-re-walk
+pass pipeline next to the worklist one, an interpreted reference simulator
+next to the compiled and batched engines, cached Flow stages next to cold
+rebuilds.  Each oracle runs one generated program down two or more of those
+paths and demands equivalence:
+
+``generator``
+    The program itself must be structurally valid and schedule-clean; a
+    diagnostic here is a bug in the fuzzer's generator (or a verifier
+    regression) rather than in the compiler under test.
+``pipeline``
+    Worklist passes vs the seed-equivalent legacy passes: byte-identical
+    optimized IR text and byte-identical emitted Verilog.
+``engines``
+    Interpreted vs compiled simulation in lockstep (every signal and memory
+    word, every phase, via :class:`DifferentialSimulator`), plus the batched
+    engine lane-for-lane against per-lane interpreted runs.
+``flow-cache``
+    Cold vs warm :class:`repro.flow.Flow` stages: warm accesses must be
+    served from cache with identical bytes, rebuilding a fresh session must
+    reproduce them, and mutating the source module must invalidate (then
+    reproducing the original content must restore the original bytes).
+
+Every check is pure with respect to the spec: oracles materialize their own
+modules and never mutate the spec, so the shrinker can re-run them freely.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fuzz.spec import MaterializedProgram, ProgramSpec, materialize
+from repro.ir.errors import IRError
+from repro.ir.printer import print_module
+from repro.ir.verifier import verify as verify_structure
+from repro.passes.pipeline import optimization_pipeline
+from repro.passes.schedule_verifier import verify_schedule
+from repro.verilog.codegen import generate_verilog_impl
+from repro.verilog.emitter import emit_design
+
+#: Oracle names in the order they run.
+ORACLES: Tuple[str, ...] = ("pipeline", "engines", "flow-cache")
+
+#: Stimulus lanes the engine oracle drives through the batched engine.
+DEFAULT_LANES = 3
+
+#: Cycle budget for one generated program (they finish in a few hundred).
+MAX_CYCLES = 20000
+
+
+@dataclass(frozen=True)
+class OracleFailure:
+    """One divergence between two paths that must agree."""
+
+    oracle: str
+    message: str
+
+    def render(self) -> str:
+        return f"[{self.oracle}] {self.message}"
+
+
+def _first_diff(expected: str, actual: str, label_a: str, label_b: str,
+                context: int = 2) -> str:
+    """A short unified-diff excerpt pinpointing the first divergence."""
+    diff = list(difflib.unified_diff(
+        expected.splitlines(), actual.splitlines(),
+        fromfile=label_a, tofile=label_b, lineterm="", n=context,
+    ))
+    head = diff[:14]
+    if len(diff) > len(head):
+        head.append(f"... ({len(diff) - len(head)} more diff lines)")
+    return "\n".join(head)
+
+
+def make_lane_inputs(spec: ProgramSpec,
+                     interfaces: Dict[str, object],
+                     input_names: Sequence[str],
+                     output_names: Sequence[str],
+                     lane: int) -> Dict[str, np.ndarray]:
+    """Deterministic stimulus tensors for ``(spec.seed, lane)``."""
+    rng = np.random.default_rng([spec.seed & 0x7FFFFFFF, lane])
+    inputs: Dict[str, np.ndarray] = {}
+    for name in input_names:
+        shape = interfaces[name].shape
+        inputs[name] = rng.integers(-1000, 1000, size=shape)
+    for name in output_names:
+        inputs[name] = np.zeros(interfaces[name].shape, dtype=np.int64)
+    return inputs
+
+
+def _optimized_module(spec: ProgramSpec, legacy: bool):
+    program = materialize(spec)
+    optimization_pipeline(verify_each=False, legacy=legacy).run(program.module)
+    return program
+
+
+def _verilog_text(program: MaterializedProgram) -> str:
+    result = generate_verilog_impl(program.module, top=program.top)
+    return emit_design(result.design)
+
+
+# --------------------------------------------------------------------------- #
+# Individual oracles
+# --------------------------------------------------------------------------- #
+
+
+def check_generator(spec: ProgramSpec) -> Optional[OracleFailure]:
+    """The generated program must be structurally and schedule-valid."""
+    try:
+        program = materialize(spec)
+        verify_structure(program.module)
+    except IRError as error:
+        return OracleFailure("generator", f"materialization failed: {error}")
+    report = verify_schedule(program.module)
+    if not report.ok:
+        return OracleFailure(
+            "generator",
+            "generated program is not schedule-clean: "
+            + "; ".join(d.render() for d in report.diagnostics[:3]),
+        )
+    return None
+
+
+def check_pipeline(spec: ProgramSpec) -> Optional[OracleFailure]:
+    """Worklist and legacy pass pipelines must agree byte for byte."""
+    try:
+        fast = _optimized_module(spec, legacy=False)
+        legacy = _optimized_module(spec, legacy=True)
+    except IRError as error:
+        return OracleFailure("pipeline", f"pipeline crashed: {error}")
+    fast_ir = print_module(fast.module)
+    legacy_ir = print_module(legacy.module)
+    if fast_ir != legacy_ir:
+        return OracleFailure(
+            "pipeline",
+            "worklist pipeline diverged from legacy on the optimized IR:\n"
+            + _first_diff(legacy_ir, fast_ir, "legacy-ir", "worklist-ir"),
+        )
+    fast_verilog = _verilog_text(fast)
+    legacy_verilog = _verilog_text(legacy)
+    if fast_verilog != legacy_verilog:
+        return OracleFailure(
+            "pipeline",
+            "pipelines agree on IR but emitted different Verilog:\n"
+            + _first_diff(legacy_verilog, fast_verilog,
+                          "legacy-verilog", "worklist-verilog"),
+        )
+    return None
+
+
+def check_engines(spec: ProgramSpec,
+                  lanes: int = DEFAULT_LANES) -> Optional[OracleFailure]:
+    """Interpreted, compiled and batched engines must produce one trace."""
+    from repro.ir.errors import SimulationError
+    from repro.sim.engine.batch import run_design_batch_impl
+    from repro.sim.engine.differential import DivergenceError
+    from repro.sim.testbench import run_design_impl
+
+    try:
+        program = _optimized_module(spec, legacy=False)
+        design = generate_verilog_impl(program.module,
+                                       top=program.top).design
+    except IRError as error:
+        return OracleFailure("engines", f"compilation crashed: {error}")
+
+    lane_inputs = [
+        make_lane_inputs(spec, program.interfaces, program.input_names,
+                         program.output_names, lane)
+        for lane in range(lanes)
+    ]
+
+    def memories_for(inputs):
+        return {name: (memref_type, inputs[name])
+                for name, memref_type in program.interfaces.items()}
+
+    single_runs = []
+    for lane, inputs in enumerate(lane_inputs):
+        # Lane 0 runs the interpreted reference and the compiled engine in
+        # lockstep; the remaining lanes establish per-lane references for
+        # the batched comparison below.
+        engine = "differential" if lane == 0 else "interpreted"
+        try:
+            run = run_design_impl(design, memories=memories_for(inputs),
+                                  max_cycles=MAX_CYCLES, drain_cycles=16,
+                                  engine=engine)
+        except DivergenceError as error:
+            return OracleFailure(
+                "engines", f"compiled engine diverged from the interpreted "
+                f"reference (lane {lane} stimulus): {error}")
+        except SimulationError as error:
+            return OracleFailure("engines", f"simulation crashed: {error}")
+        if not run.done:
+            return OracleFailure(
+                "engines",
+                f"design never pulsed done within {MAX_CYCLES} cycles "
+                f"(lane {lane})")
+        single_runs.append(run)
+
+    try:
+        batch = run_design_batch_impl(
+            design,
+            memories={name: (memref_type,
+                             [inputs[name] for inputs in lane_inputs])
+                      for name, memref_type in program.interfaces.items()},
+            max_cycles=MAX_CYCLES, drain_cycles=16,
+        )
+    except SimulationError as error:
+        return OracleFailure("engines", f"batched engine crashed: {error}")
+
+    for lane, single in enumerate(single_runs):
+        if not batch.done[lane]:
+            return OracleFailure(
+                "engines", f"batched lane {lane} never finished "
+                f"(single-lane run finished in {single.cycles} cycles)")
+        if int(batch.cycles[lane]) != single.cycles:
+            return OracleFailure(
+                "engines",
+                f"batched lane {lane} took {int(batch.cycles[lane])} cycles, "
+                f"single-lane run took {single.cycles}")
+        for name in program.output_names:
+            expected = single.memory_array(name)
+            produced = batch.memory_array(name, lane)
+            if not np.array_equal(produced, expected):
+                bad = np.argwhere(np.asarray(produced) != np.asarray(expected))
+                return OracleFailure(
+                    "engines",
+                    f"batched lane {lane} output '{name}' differs from the "
+                    f"single-lane run at {len(bad)} position(s), first at "
+                    f"{tuple(bad[0])}: batched="
+                    f"{np.asarray(produced)[tuple(bad[0])]} single="
+                    f"{np.asarray(expected)[tuple(bad[0])]}")
+    return None
+
+
+def check_flow_cache(spec: ProgramSpec) -> Optional[OracleFailure]:
+    """Flow stage caching must be invisible except for speed."""
+    from repro.flow import Flow, FlowConfig
+    from repro.hir.ops import ConstantOp
+
+    config = FlowConfig(pipeline="optimize", verify_each=False)
+    try:
+        program = materialize(spec)
+        flow = Flow(program.module, top=program.top, config=config)
+        cold = flow.verilog()
+        warm = flow.verilog()
+    except IRError as error:
+        return OracleFailure("flow-cache", f"flow crashed: {error}")
+    if cold.cached:
+        return OracleFailure(
+            "flow-cache", "first verilog() access claims to be cached")
+    if not warm.cached:
+        return OracleFailure(
+            "flow-cache", "second verilog() access was not served from the "
+            "stage cache")
+    if warm.value.text != cold.value.text:
+        return OracleFailure(
+            "flow-cache", "warm verilog() returned different bytes:\n"
+            + _first_diff(cold.value.text, warm.value.text, "cold", "warm"))
+
+    # A fresh session over a re-materialized (identical) module must land on
+    # the same fingerprint and the same bytes.
+    fresh = Flow(materialize(spec).module, top=program.top, config=config)
+    rebuilt = fresh.verilog()
+    if rebuilt.fingerprint != cold.fingerprint:
+        return OracleFailure(
+            "flow-cache",
+            f"re-materialized module fingerprinted differently "
+            f"({rebuilt.fingerprint} vs {cold.fingerprint}) — "
+            "materialization is not deterministic")
+    if rebuilt.value.text != cold.value.text:
+        return OracleFailure(
+            "flow-cache", "fresh flow produced different Verilog:\n"
+            + _first_diff(cold.value.text, rebuilt.value.text,
+                          "first-session", "fresh-session"))
+
+    # Mutating the source module must invalidate every downstream stage;
+    # restoring the original content must restore the original bytes.
+    constant = next((op for op in program.module.walk()
+                     if isinstance(op, ConstantOp)), None)
+    if constant is None:
+        return None
+    original = constant.value
+    constant.set_attr("value", original + 1)
+    try:
+        mutated = flow.verilog()
+        if mutated.cached:
+            return OracleFailure(
+                "flow-cache",
+                "stage cache served a stale artifact after the source module "
+                "was mutated (fingerprint invalidation failed)")
+        if mutated.fingerprint == cold.fingerprint:
+            return OracleFailure(
+                "flow-cache",
+                "module content changed but the stage fingerprint did not")
+    except IRError as error:
+        return OracleFailure(
+            "flow-cache", f"recompile after mutation crashed: {error}")
+    finally:
+        constant.set_attr("value", original)
+    restored = flow.verilog()
+    if restored.cached or restored.value.text != cold.value.text:
+        return OracleFailure(
+            "flow-cache",
+            "restoring the original module content did not reproduce the "
+            "original Verilog bytes")
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------------- #
+
+_CHECKS = {
+    "pipeline": check_pipeline,
+    "engines": check_engines,
+    "flow-cache": check_flow_cache,
+}
+
+
+def check_program(spec: ProgramSpec,
+                  oracles: Iterable[str] = ORACLES) -> Optional[OracleFailure]:
+    """Run ``spec`` through the selected oracles; first failure wins.
+
+    The generator oracle always runs first — cross-checking an invalid
+    program would blame the compiler for the fuzzer's own bug.
+    """
+    failure = check_generator(spec)
+    if failure is not None:
+        return failure
+    for name in oracles:
+        check = _CHECKS.get(name)
+        if check is None:
+            raise ValueError(
+                f"unknown oracle {name!r}; choose from {sorted(_CHECKS)}")
+        try:
+            failure = check(spec)
+        except Exception as error:  # noqa: BLE001 - a crash IS a finding
+            failure = OracleFailure(name, f"oracle crashed: "
+                                          f"{type(error).__name__}: {error}")
+        if failure is not None:
+            return failure
+    return None
+
+
+__all__ = [
+    "DEFAULT_LANES",
+    "MAX_CYCLES",
+    "ORACLES",
+    "OracleFailure",
+    "check_engines",
+    "check_flow_cache",
+    "check_generator",
+    "check_pipeline",
+    "check_program",
+    "make_lane_inputs",
+]

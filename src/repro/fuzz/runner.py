@@ -1,0 +1,213 @@
+"""The fuzz campaign driver: generate → cross-check → shrink → reproduce.
+
+:func:`run_fuzz` drives ``count`` seeded programs through every oracle.  Each
+failure is shrunk to a minimal spec and written out as a *self-contained
+reproducer script* named after the seed — re-running the script replays the
+minimized program through the same oracles and exits non-zero while the bug
+reproduces, so a CI artifact is all a developer needs.
+
+Seeds are the unit of reproducibility end to end::
+
+    python -m repro fuzz --seed 0 --count 100 --max-ops 40
+    python -m repro fuzz --seed 123456 --count 1      # replay one seed
+    PYTHONPATH=src python fuzz-failures/seed_123456.py  # replay the repro
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.fuzz.generator import generate_spec
+from repro.fuzz.oracles import ORACLES, OracleFailure, check_program
+from repro.fuzz.shrink import ShrinkResult, shrink
+from repro.fuzz.spec import ProgramSpec
+
+#: Default directory minimized reproducers are written to.
+DEFAULT_OUT_DIR = "fuzz-failures"
+
+_REPRO_TEMPLATE = '''#!/usr/bin/env python3
+"""Minimized fuzz reproducer (auto-generated — do not hand-edit the spec).
+
+seed      : {seed}
+oracle    : {oracle}
+found by  : python -m repro fuzz --seed {seed} --count 1 --max-ops {max_ops}
+message   : {message}
+
+Replay from the repository root (exits 1 while the bug reproduces):
+
+    PYTHONPATH=src python {filename}
+"""
+
+SPEC = {spec_literal}
+
+if __name__ == "__main__":
+    from repro.fuzz import replay_spec
+    raise SystemExit(replay_spec(SPEC, oracles={oracles!r}))
+'''
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One confirmed, minimized divergence."""
+
+    seed: int
+    oracle: str
+    message: str
+    spec: ProgramSpec
+    original_op_count: int
+    repro_path: Optional[str] = None
+
+    def summary(self) -> str:
+        where = f" -> {self.repro_path}" if self.repro_path else ""
+        return (f"seed {self.seed}: [{self.oracle}] shrunk "
+                f"{self.original_op_count} -> {len(self.spec.ops)} ops{where}")
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one campaign."""
+
+    count: int
+    max_ops: int
+    seconds: float = 0.0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        rate = self.count / self.seconds if self.seconds > 0 else 0.0
+        lines = [
+            f"fuzz: {self.count} programs in {self.seconds:.1f}s "
+            f"({rate:.1f} programs/s), {len(self.failures)} failure(s)"
+        ]
+        for failure in self.failures:
+            lines.append(f"  {failure.summary()}")
+            lines.append(f"    {failure.message.splitlines()[0]}")
+        return "\n".join(lines)
+
+
+def fuzz_one(seed: int, max_ops: int = 40,
+             oracles: Sequence[str] = ORACLES,
+             ) -> Tuple[ProgramSpec, Optional[OracleFailure]]:
+    """Generate and cross-check one seed."""
+    spec = generate_spec(seed, max_ops=max_ops)
+    return spec, check_program(spec, tuple(oracles))
+
+
+def write_repro(spec: ProgramSpec, failure: OracleFailure, out_dir: str,
+                max_ops: int, oracles: Sequence[str] = ORACLES) -> str:
+    """Write the self-contained reproducer script; returns its path."""
+    os.makedirs(out_dir, exist_ok=True)
+    filename = f"seed_{spec.seed}.py"
+    path = os.path.join(out_dir, filename)
+    spec_literal = json.dumps(spec.to_dict(), indent=4, sort_keys=True)
+    first_line = failure.message.splitlines()[0]
+    with open(path, "w") as handle:
+        handle.write(_REPRO_TEMPLATE.format(
+            seed=spec.seed,
+            oracle=failure.oracle,
+            max_ops=max_ops,
+            message=first_line,
+            filename=os.path.join(out_dir, filename),
+            spec_literal=spec_literal,
+            oracles=tuple(oracles),
+        ))
+    return path
+
+
+def replay_spec(spec_data, oracles: Optional[Sequence[str]] = None) -> int:
+    """Re-run a (reproducer-embedded) spec through the oracles.
+
+    Accepts a :class:`ProgramSpec`, a dict, or a JSON string.  Returns 0
+    when every oracle passes, 1 while the failure reproduces — the exit
+    status of a reproducer script.
+    """
+    if isinstance(spec_data, ProgramSpec):
+        spec = spec_data
+    elif isinstance(spec_data, str):
+        spec = ProgramSpec.from_json(spec_data)
+    else:
+        spec = ProgramSpec.from_dict(spec_data)
+    failure = check_program(spec, tuple(oracles) if oracles else ORACLES)
+    if failure is None:
+        print(f"seed {spec.seed}: all oracles pass (bug no longer reproduces)")
+        return 0
+    print(f"seed {spec.seed}: {failure.render()}")
+    return 1
+
+
+def run_fuzz(seed: int = 0, count: int = 100, max_ops: int = 40,
+             out_dir: Optional[str] = DEFAULT_OUT_DIR,
+             oracles: Sequence[str] = ORACLES,
+             shrink_failures: bool = True,
+             log: Optional[Callable[[str], None]] = None) -> FuzzReport:
+    """Run ``count`` programs starting at ``seed``; shrink and persist
+    failures.
+
+    ``out_dir=None`` disables reproducer files (the specs are still on the
+    returned report).  ``log`` receives one progress line every 25 programs
+    and one line per failure (pass ``print`` for CLI behaviour).
+    """
+    oracles = tuple(oracles)
+    report = FuzzReport(count=count, max_ops=max_ops)
+    start = time.perf_counter()
+    for offset in range(count):
+        current = seed + offset
+        spec, failure = fuzz_one(current, max_ops=max_ops, oracles=oracles)
+        if failure is None:
+            if log and (offset + 1) % 25 == 0:
+                log(f"fuzz: {offset + 1}/{count} programs ok "
+                    f"({time.perf_counter() - start:.1f}s)")
+            continue
+        original_ops = len(spec.ops)
+        if log:
+            log(f"fuzz: seed {current} FAILED {failure.render().splitlines()[0]}")
+        if shrink_failures:
+            result: ShrinkResult = shrink(spec, failure, oracles)
+            spec, failure = result.spec, result.failure
+        repro_path = None
+        if out_dir is not None:
+            repro_path = write_repro(spec, failure, out_dir, max_ops, oracles)
+            if log:
+                log(f"fuzz: wrote minimized reproducer {repro_path} "
+                    f"({original_ops} -> {len(spec.ops)} ops)")
+        report.failures.append(FuzzFailure(
+            seed=current,
+            oracle=failure.oracle,
+            message=failure.message,
+            spec=spec,
+            original_op_count=original_ops,
+            repro_path=repro_path,
+        ))
+    report.seconds = time.perf_counter() - start
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - thin
+    """Entry point behind ``python -m repro fuzz`` (argv already parsed
+    there); kept callable for symmetry with the other tool mains."""
+    from repro.__main__ import build_parser
+    arguments = build_parser().parse_args(["fuzz"] + list(argv or []))
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))
+
+
+__all__ = [
+    "DEFAULT_OUT_DIR",
+    "FuzzFailure",
+    "FuzzReport",
+    "fuzz_one",
+    "replay_spec",
+    "run_fuzz",
+    "write_repro",
+]

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from repro.ir.attributes import ArrayAttr, IntegerAttr, StringAttr, SymbolRefAttr, int_of, ints_of
+from repro.ir.attributes import StringAttr, SymbolRefAttr, int_of, ints_of
 from repro.ir.errors import VerificationError
 from repro.ir.location import Location
 from repro.ir.operation import Operation, register_operation

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from repro.hls.scheduling import DataflowGraph, DFGNode, LoopSchedule
+from repro.hls.scheduling import DFGNode, LoopSchedule
 
 #: Operation kinds that occupy a functional unit worth sharing.
 SHARED_FU_KINDS = ("mul", "add", "sub", "cmp")

@@ -15,12 +15,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.ir.errors import HLSError
-from repro.hls.binding import BindingResult, bind_loop
+from repro.hls.binding import bind_loop
 from repro.hls.dse import LoopExploration, collect_innermost_loops, explore_loop
 from repro.hls.options import HLSOptions
 from repro.hls.rtl import LoopRTLInfo, RTLGenerator
-from repro.hls.scheduling import DFGBuilder, schedule_loop
+from repro.hls.scheduling import schedule_loop
 from repro.hls.swir import ARRAY, For, Function, Load, Program, Statement, Store
 from repro.verilog.ast import Design
 

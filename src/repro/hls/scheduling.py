@@ -23,7 +23,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ir.errors import HLSError
 from repro.hls.swir import (
@@ -31,7 +31,6 @@ from repro.hls.swir import (
     BinExpr,
     Expr,
     For,
-    Function,
     IntConst,
     Load,
     Statement,

@@ -15,7 +15,7 @@ can apply one resource model to both.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 # --------------------------------------------------------------------------- #
 # Expressions

@@ -174,3 +174,17 @@ def print_op(op: Operation) -> str:
 def print_module(module: Operation) -> str:
     """Print a module (alias of :func:`print_op`, kept for readability)."""
     return print_op(module)
+
+
+def module_fingerprint(module: Operation, length: int = 16) -> str:
+    """Content hash of a module's printed form.
+
+    The canonical identity the stage caches and the fuzzer's determinism
+    checks key on: two modules fingerprint equal iff they print to the same
+    text.  ``length`` truncates the sha256 hex digest (16 chars by default,
+    matching the Flow artifact fingerprints).
+    """
+    import hashlib
+
+    digest = hashlib.sha256(print_op(module).encode()).hexdigest()
+    return digest[:length] if length else digest

@@ -22,7 +22,6 @@ from repro.ir.rewriter import PatternRewriter, RewritePattern
 from repro.ir.values import Value
 from repro.hir.ops import (
     AddOp,
-    AndOp,
     ConstantOp,
     DelayOp,
     MultOp,

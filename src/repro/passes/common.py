@@ -6,7 +6,7 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.ir.operation import Operation
 from repro.ir.values import Value
-from repro.hir.ops import ConstantOp, FuncOp, constant_value
+from repro.hir.ops import FuncOp, constant_value
 from repro.hir.types import ConstType
 
 

@@ -14,7 +14,6 @@ from typing import Dict, List, Tuple
 from repro.ir.block import Block
 from repro.ir.operation import Operation
 from repro.ir.pass_manager import Pass
-from repro.hir.ops import FuncOp
 from repro.passes.common import functions_in
 
 #: Hashable signature of an operation for CSE purposes.

@@ -9,7 +9,7 @@ in HIR it is a direct consequence of the schedule analysis.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.ir.operation import Operation
 from repro.ir.pass_manager import Pass

@@ -23,7 +23,7 @@ detect, at compile time, errors that an HDL compiler cannot see:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.ir.analysis import PRESERVE_ALL
 from repro.ir.errors import ScheduleError
@@ -36,7 +36,6 @@ from repro.hir.ops import (
     BinaryOp,
     CallOp,
     CmpOp,
-    ConstantOp,
     DelayOp,
     ForOp,
     FuncOp,
@@ -48,7 +47,7 @@ from repro.hir.ops import (
     constant_value,
 )
 from repro.hir.schedule import ScheduleAnalysis, ScheduleInfo, TimeStamp, UNBOUNDED
-from repro.hir.types import ConstType, MemrefType, TimeType
+from repro.hir.types import ConstType, MemrefType
 
 #: Diagnostic kinds emitted by the verifier.
 INVALID_OPERAND_TIME = "invalid-operand-time"

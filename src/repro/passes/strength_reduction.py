@@ -27,7 +27,6 @@ from repro.ir.pass_manager import Pass
 from repro.ir.rewriter import PatternRewriter, RewritePattern
 from repro.ir.values import Value
 from repro.hir.ops import AddOp, ConstantOp, MultOp, ShlOp, constant_value
-from repro.hir.types import ConstType
 from repro.passes.common import functions_in
 
 #: Maximum number of set bits in the constant for the shift/add rewrite.

@@ -13,9 +13,8 @@ also exposed as a pass so tests and ablations can apply it in isolation.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
-from repro.ir.errors import LoweringError
 from repro.ir.operation import Operation
 from repro.ir.pass_manager import Pass
 from repro.ir.values import Value

@@ -10,7 +10,7 @@ reproduction's stand-in for RTL simulation of the synthesized accelerator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 

@@ -38,7 +38,6 @@ from repro.verilog.ast import (
     MemWrite,
     Module,
     NonBlockingAssign,
-    Port,
     Ref,
     RegDecl,
     Statement,

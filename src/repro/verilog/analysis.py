@@ -17,7 +17,7 @@ hooks on the Verilog AST and cached in a :class:`LevelizedNetlist`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.ir.errors import SimulationError
 from repro.verilog.ast import Assign, MemIndex, Expr

@@ -17,7 +17,7 @@ assignments / conditionals / memory writes, and module instances.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 # --------------------------------------------------------------------------- #
 # Expressions

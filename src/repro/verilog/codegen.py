@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.ir.errors import LoweringError
 from repro.ir.module import ModuleOp
 from repro.ir.operation import Operation
-from repro.ir.values import BlockArgument, Value
+from repro.ir.values import Value
 from repro.hir.ops import (
     AddOp,
     AllocOp,
@@ -54,7 +54,7 @@ from repro.hir.ops import (
     constant_value,
 )
 from repro.hir.schedule import ScheduleAnalysis
-from repro.hir.types import ConstType, MemrefType, TimeType
+from repro.hir.types import ConstType, MemrefType
 from repro.passes.unroll import unroll_all
 from repro.verilog.ast import (
     BinOp,
@@ -67,7 +67,6 @@ from repro.verilog.ast import (
     OUTPUT,
     Ref,
     Ternary,
-    or_reduce,
 )
 from repro.verilog.fsm import LoopController, LoopSignals, PulseGenerator
 from repro.verilog.memory import (

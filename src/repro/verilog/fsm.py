@@ -21,15 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.ir.values import Value
-from repro.verilog.ast import (
-    BinOp,
-    Const,
-    Expr,
-    Module,
-    NonBlockingAssign,
-    Ref,
-    UnOp,
-)
+from repro.verilog.ast import BinOp, Expr, Module, NonBlockingAssign, Ref, UnOp
 from repro.verilog.naming import SignalNamer
 
 

@@ -26,7 +26,6 @@ from repro.ir.values import Value
 from repro.hir.ops import AllocOp
 from repro.hir.types import MemrefType
 from repro.verilog.ast import (
-    BinOp,
     Const,
     Expr,
     If,

@@ -1,0 +1,31 @@
+"""The ``python -m repro fuzz`` surface: exit codes, reproducer layout,
+campaign determinism."""
+
+import os
+
+from repro.__main__ import main
+from repro.fuzz import run_fuzz
+
+
+class TestFuzzCommand:
+    def test_clean_run_exits_zero(self, capsys, tmp_path):
+        code = main(["fuzz", "--seed", "0", "--count", "3",
+                     "--max-ops", "20", "--out-dir", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "0 failure(s)" in captured.out
+        assert os.listdir(str(tmp_path)) == []  # no reproducers written
+
+    def test_oracle_subset_accepted(self, tmp_path):
+        code = main(["fuzz", "--seed", "5", "--count", "2",
+                     "--max-ops", "10", "--oracles", "pipeline,flow-cache",
+                     "--out-dir", str(tmp_path)])
+        assert code == 0
+
+
+class TestCampaignDeterminism:
+    def test_same_campaign_twice(self):
+        first = run_fuzz(seed=40, count=5, max_ops=15, out_dir=None)
+        second = run_fuzz(seed=40, count=5, max_ops=15, out_dir=None)
+        assert first.ok and second.ok
+        assert first.count == second.count == 5

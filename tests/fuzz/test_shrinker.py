@@ -1,0 +1,132 @@
+"""Shrinking and reproduction: failures bisect down to minimal specs, and
+the written reproducer scripts replay them.
+
+The end-to-end test injects a real miscompile locally (the acceptance
+scenario): the *worklist* strength-reduction pattern is weakened while the
+legacy oracle pipeline keeps the full rewrite, so the two emit different IR
+and the pipeline oracle fires.  The fuzzer must find it, shrink it to a
+two-op-or-less core, and write a reproducer that exits 1 while the bug is
+present and 0 once it is healed.
+"""
+
+import pytest
+
+from repro.fuzz import (
+    OracleFailure,
+    generate_spec,
+    replay_spec,
+    run_fuzz,
+    shrink,
+)
+from repro.fuzz.shrink import remove_ops
+from repro.fuzz.spec import OpSpec, ProgramSpec, WriteSpec
+from repro.passes.strength_reduction import StrengthReductionPass
+
+
+def _chain_spec() -> ProgramSpec:
+    """in0 -> add -> mult -> xor -> write, plus an independent dead-end add."""
+    return ProgramSpec(
+        seed=99,
+        sizes=(4,),
+        ii=1,
+        n_inputs=1,
+        n_outputs=1,
+        ops=(
+            OpSpec("add", ("in0", "c:1")),
+            OpSpec("mult", ("op0", "c:5")),
+            OpSpec("xor", ("op1", "in0")),
+            OpSpec("add", ("in0", "in0")),
+        ),
+        writes=(WriteSpec(0, "op2", (0,)),),
+    )
+
+
+class TestRemoveOps:
+    def test_rewires_users_to_first_operand(self):
+        spec = _chain_spec()
+        reduced = remove_ops(spec, {1})
+        assert len(reduced.ops) == 3
+        # op2 ("xor") referenced op1; op1's first operand was op0.
+        assert reduced.ops[1] == OpSpec("xor", ("op0", "in0"))
+        assert reduced.writes[0].value == "op1"  # renumbered from op2
+
+    def test_chases_chains_of_removed_ops(self):
+        spec = _chain_spec()
+        reduced = remove_ops(spec, {0, 1, 2})
+        assert len(reduced.ops) == 1
+        assert reduced.writes[0].value == "in0"
+
+    def test_remove_nothing_is_identity(self):
+        spec = _chain_spec()
+        assert remove_ops(spec, set()) == spec
+
+
+class TestSyntheticShrink:
+    def test_minimizes_to_the_failing_op(self):
+        """With a predicate oracle ('fails while any mult survives'), the
+        shrinker should strip the program down to essentially that op."""
+        spec = generate_spec(0, max_ops=40)
+        if not any(op.kind == "mult" for op in spec.ops):
+            pytest.skip("seed 0 no longer generates a mult")
+
+        def fails_on_mult(candidate):
+            if any(op.kind == "mult" for op in candidate.ops):
+                return OracleFailure("synthetic", "a mult survives")
+            return None
+
+        result = shrink(spec, OracleFailure("synthetic", "a mult survives"),
+                        check=fails_on_mult)
+        assert any(op.kind == "mult" for op in result.spec.ops)
+        assert len(result.spec.ops) <= 2
+        assert result.removed_ops > 0
+        assert result.checks > 0
+
+    def test_unreproducible_failure_returns_original(self):
+        spec = _chain_spec()
+        result = shrink(spec, OracleFailure("synthetic", "never reproduces"),
+                        check=lambda candidate: None)
+        assert result.spec == spec
+        assert result.removed_ops == 0
+
+
+class TestInjectedMiscompile:
+    """The acceptance scenario: a broken rewrite pattern is caught, shrunk
+    and persisted as a runnable reproducer."""
+
+    @pytest.fixture()
+    def broken_strength_reduction(self, monkeypatch):
+        # The legacy pipeline calls rewrite_mult() directly with the full
+        # rewrite; capping the worklist pass's term budget makes only the
+        # fast pipeline skip x*2**k decompositions -> byte divergence.
+        monkeypatch.setattr(StrengthReductionPass, "max_terms", 0)
+
+    def test_fuzzer_finds_shrinks_and_reproduces(self, tmp_path,
+                                                 broken_strength_reduction):
+        report = run_fuzz(seed=0, count=10, max_ops=40,
+                          out_dir=str(tmp_path), oracles=("pipeline",))
+        assert not report.ok, "injected miscompile was not caught"
+        failure = report.failures[0]
+        assert failure.oracle == "pipeline"
+        assert len(failure.spec.ops) <= 2, (
+            f"reproducer not minimal: {failure.spec.ops}")
+        assert failure.original_op_count > len(failure.spec.ops)
+        assert failure.repro_path is not None
+
+        # The reproducer script embeds the spec; executing its body (without
+        # __main__) must expose SPEC, and replaying it fails while the bug
+        # is injected...
+        namespace = {}
+        with open(failure.repro_path) as handle:
+            exec(compile(handle.read(), failure.repro_path, "exec"), namespace)
+        assert replay_spec(namespace["SPEC"], oracles=("pipeline",)) == 1
+
+    def test_reproducer_heals(self, tmp_path):
+        with pytest.MonkeyPatch.context() as patch:
+            patch.setattr(StrengthReductionPass, "max_terms", 0)
+            report = run_fuzz(seed=0, count=10, max_ops=40,
+                              out_dir=str(tmp_path), oracles=("pipeline",))
+            assert not report.ok
+            spec_dict = report.failures[0].spec.to_dict()
+            assert replay_spec(spec_dict, oracles=("pipeline",)) == 1
+        # ... and passes again once the pattern is restored.
+        assert replay_spec(spec_dict, oracles=("pipeline",)) == 0

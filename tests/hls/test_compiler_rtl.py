@@ -1,8 +1,7 @@
 """Tests for the baseline HLS compiler driver, DSE and RTL generation."""
 
-import pytest
 
-from repro.hls import SwBuilder, Param, LocalArray, Var, compile_program
+from repro.hls import SwBuilder, Param, Var, compile_program
 from repro.hls.dse import collect_innermost_loops, explore_loop
 from repro.kernels import transpose, histogram, stencil1d
 from repro.resources import estimate_resources

@@ -18,7 +18,7 @@ from repro.ir.types import (
     FunctionType,
     IntegerType,
 )
-from repro.hir.types import CONST, ConstType, MemrefType, TimeType
+from repro.hir.types import CONST, ConstType, MemrefType
 
 
 class TestTypeInterning:

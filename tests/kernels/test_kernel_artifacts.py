@@ -5,7 +5,7 @@ import pytest
 
 from repro.ir import verify
 from repro.hir.ops import MultOp, UnrollForOp
-from repro.kernels import KERNEL_BUILDERS, build_kernel, kernel_names
+from repro.kernels import build_kernel, kernel_names
 from repro.passes import verify_schedule
 
 SMALL = {

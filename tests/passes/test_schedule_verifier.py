@@ -3,7 +3,7 @@
 import pytest
 
 from repro.ir import ScheduleError
-from repro.ir.types import I8, I32
+from repro.ir.types import I32
 from repro.hir import DesignBuilder, MemrefType
 from repro.passes import (
     CROSS_REGION_USE,

@@ -154,7 +154,6 @@ class TestPatternRewriterWorklist:
         assert pass_.statistics["ops-folded"] == 10
 
     def test_rewriter_counts_rewrites(self):
-        from repro.ir.operation import Operation
 
         class Never(RewritePattern):
             op_names = ("no.such.op",)

@@ -1,6 +1,5 @@
 """Tests for the FPGA resource model."""
 
-import pytest
 
 from repro.resources import (
     BRAM_THRESHOLD_BITS,
@@ -16,7 +15,6 @@ from repro.verilog import (
     INPUT,
     Module,
     NonBlockingAssign,
-    OUTPUT,
     Ref,
 )
 

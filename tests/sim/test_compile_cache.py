@@ -1,6 +1,5 @@
 """Tests for the simulation engine's bounded compile cache (LRU eviction)."""
 
-import pytest
 
 from repro.kernels import build_kernel
 from repro.sim.engine import clear_compile_cache, compile_cache_size

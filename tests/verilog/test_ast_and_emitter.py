@@ -3,7 +3,6 @@
 import pytest
 
 from repro.verilog import (
-    Assign,
     BinOp,
     Const,
     Design,

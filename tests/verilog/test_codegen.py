@@ -4,7 +4,7 @@ import pytest
 
 from repro.ir import LoweringError
 from repro.ir.types import I32
-from repro.hir import DesignBuilder, MemrefType
+from repro.hir import DesignBuilder
 from repro.kernels import transpose, stencil1d, histogram
 from repro.verilog import (
     CodegenOptions,
