@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Composing kernels into multi-stage dataflow designs (repro.graph).
+
+Two pipelines are built, lowered to single multi-module Verilog designs and
+simulated end to end against their chained numpy references:
+
+* ``gemm -> transpose -> stencil_1d`` — a 3-stage linear-algebra pipeline
+  with a reshape-compatible edge (a matrix streamed into a 1-D stencil);
+* ``histogram -> prefix_sum`` — the cumulative distribution of an image,
+  built here by hand to show the DesignGraph API (the same pipeline is
+  registered as the ``histogram_cdf`` scenario).
+
+Run with:  python examples/compose_pipelines.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro import DesignGraph, Flow, FlowConfig
+
+config = FlowConfig(pipeline="optimize", verify_each=False,
+                    engine="differential")
+
+
+def main() -> None:
+    # --- a registered scenario, one call away ----------------------------
+    flow = Flow.from_scenario("gemm_pipeline", size=4, config=config)
+    artifacts = flow.compose().value
+    print("gemm_pipeline static schedule (cycles):")
+    print(artifacts.describe_schedule())
+    outcome = flow.validate(seed=1).value
+    print(f"-> simulated {outcome.cycles} cycles on both engines in "
+          f"lockstep; matches the chained numpy reference: {outcome.ok}\n")
+
+    # --- the same machinery, graph built by hand --------------------------
+    graph = DesignGraph("image_cdf")
+    histogram = graph.add_kernel("histogram", pixels=64, bins=16)
+    scan = graph.add_kernel("prefix_sum", size=16)
+    graph.connect(histogram, "hist", scan, "xs")
+    graph.expose(histogram, "img", "img")
+    graph.expose(scan, "sums", "cdf")
+
+    flow = Flow.from_graph(graph, config=config)
+    run = flow.simulate(seed=7).value
+    cdf = run.memory_array("cdf")
+    expected = np.cumsum(np.bincount(np.asarray(run.inputs["img"]),
+                                     minlength=16)[:16])
+    print(f"image_cdf: {len(graph.nodes)} nodes / {len(graph.edges)} stream "
+          f"edge(s), {run.run.cycles} cycles")
+    print("hardware CDF :", cdf)
+    print("numpy CDF    :", expected)
+    print("match        :", np.array_equal(cdf, expected))
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,10 @@ Top-level layout:
 * :mod:`repro.resources`  — FPGA resource model (LUT/FF/DSP/BRAM estimation).
 * :mod:`repro.sim`        — cycle-accurate simulators for generated designs.
 * :mod:`repro.hls`        — a Vivado-HLS-like baseline compiler used by the evaluation.
-* :mod:`repro.kernels`    — the paper's benchmark kernels (HIR and HLS variants).
+* :mod:`repro.kernels`    — the paper's benchmark kernels (HIR and HLS variants)
+                            plus new workloads (matvec, scan, SpMV, sorting).
+* :mod:`repro.graph`      — multi-kernel dataflow composition: kernel graphs
+                            lowered to one statically scheduled design.
 * :mod:`repro.fuzz`       — differential fuzzing of all of the above: random
                             programs cross-checked over pipelines/engines/cache.
 * :mod:`repro.evaluation` — harness regenerating every table and figure.
@@ -34,11 +37,16 @@ _LAZY_EXPORTS = {
     "Flow": ("repro.flow", "Flow"),
     "FlowConfig": ("repro.flow", "FlowConfig"),
     "FlowError": ("repro.flow", "FlowError"),
+    "DesignGraph": ("repro.graph", "DesignGraph"),
+    "GraphError": ("repro.graph", "GraphError"),
     "KernelArtifacts": ("repro.kernels.base", "KernelArtifacts"),
     "build_kernel": ("repro.kernels", "build_kernel"),
+    "build_scenario": ("repro.graph", "build_scenario"),
     "kernel_names": ("repro.kernels", "kernel_names"),
     "register_kernel": ("repro.kernels", "register_kernel"),
+    "register_scenario": ("repro.graph", "register_scenario"),
     "run_fuzz": ("repro.fuzz", "run_fuzz"),
+    "scenario_names": ("repro.graph", "scenario_names"),
 }
 
 __all__ = ["__version__", *sorted(_LAZY_EXPORTS)]

@@ -7,14 +7,18 @@ Subcommands mirror the :class:`repro.flow.Flow` stages:
 * ``simulate``  — one stimulus set, checked against the numpy reference.
 * ``sweep``     — N stimulus lanes on the batched engine, all checked.
 * ``report``    — the full evaluation harness (Tables 4–6, Figures 1–3).
+* ``compose``   — multi-kernel dataflow scenarios: build, schedule and
+  simulate a registered :class:`repro.graph.DesignGraph` end to end.
 * ``fuzz``      — differential fuzzing: random HIR programs cross-checked
-  over pipelines, engines and the Flow stage cache.
+  over pipelines, engines, composition and the Flow stage cache.
 
 Kernel size parameters are passed as repeated ``-p key=value`` options::
 
     python -m repro build gemm -p size=8 --resources
     python -m repro simulate transpose -p size=8 --engine compiled
     python -m repro sweep gemm -p size=4 --seeds 8
+    python -m repro compose --list
+    python -m repro compose gemm_pipeline --seed 3 --schedule
     python -m repro report --quick --validate
     python -m repro fuzz --seed 0 --count 100 --max-ops 40
 """
@@ -64,10 +68,12 @@ def _kernel_flow(arguments):
 
 def _cmd_list(arguments) -> int:
     from repro.flow import PIPELINES
+    from repro.graph import scenario_names
     from repro.kernels import kernel_names
     from repro.sim import available_engines, get_default_engine
 
     print("kernels  :", ", ".join(kernel_names()))
+    print("scenarios:", ", ".join(scenario_names()))
     print("engines  :", ", ".join(available_engines()),
           f"(default: {get_default_engine()})")
     print("pipelines:", ", ".join(PIPELINES))
@@ -101,13 +107,11 @@ def _cmd_simulate(arguments) -> int:
     return 0 if outcome.ok else 1
 
 
-def _cmd_sweep(arguments) -> int:
+def _check_batch_lanes(flow, seeds, outcome) -> int:
+    """Validate and print one batched lane per seed; returns the failure
+    count (shared by the ``sweep`` and ``compose --seeds`` subcommands)."""
     from repro.flow import outputs_match
 
-    flow = _kernel_flow(arguments)
-    seeds = list(range(arguments.seeds))
-    artifact = flow.simulate_batch(seeds)
-    outcome = artifact.value
     failures = 0
     for lane, inputs in enumerate(outcome.inputs_per_lane):
         ok = bool(outcome.run.done[lane])
@@ -119,11 +123,50 @@ def _cmd_sweep(arguments) -> int:
         print(f"lane {lane:>3}: seed={seeds[lane]} "
               f"cycles={int(outcome.run.cycles[lane])} "
               f"{'ok' if ok else 'MISMATCH'}")
+    return failures
+
+
+def _cmd_sweep(arguments) -> int:
+    flow = _kernel_flow(arguments)
+    seeds = list(range(arguments.seeds))
+    artifact = flow.simulate_batch(seeds)
+    failures = _check_batch_lanes(flow, seeds, artifact.value)
     rate = len(seeds) / artifact.seconds if artifact.seconds > 0 else 0.0
     print(f"{len(seeds)} lanes in {artifact.seconds:.2f}s "
           f"({rate:.1f} scenarios/s), {failures} mismatching",
           file=sys.stderr)
     return 0 if failures == 0 else 1
+
+
+def _cmd_compose(arguments) -> int:
+    from repro.flow import Flow
+    from repro.graph import build_scenario, scenario_names
+
+    if arguments.list or arguments.scenario is None:
+        if arguments.scenario is None and not arguments.list:
+            raise SystemExit(
+                "compose needs a scenario name (or --list); registered: "
+                + ", ".join(scenario_names()))
+        print("scenarios:", ", ".join(scenario_names()))
+        return 0
+    graph = build_scenario(arguments.scenario, **_parse_params(arguments.param))
+    flow = Flow.from_graph(graph, config=_flow_config(arguments))
+    artifacts = flow.compose().value
+    if arguments.schedule:
+        print(artifacts.describe_schedule(), file=sys.stderr)
+    if arguments.seeds:
+        seeds = list(range(arguments.seeds))
+        outcome = flow.simulate_batch(seeds).value
+        failures = _check_batch_lanes(flow, seeds, outcome)
+        print(flow.report(), file=sys.stderr)
+        return 0 if failures == 0 else 1
+    validated = flow.validate(seed=arguments.seed).value
+    status = "ok" if validated.ok else "MISMATCH"
+    print(f"{validated.name}: {len(graph.nodes)} nodes, "
+          f"{len(graph.edges)} stream edges, engine={validated.engine} "
+          f"seed={arguments.seed} cycles={validated.cycles} {status}")
+    print(flow.report(), file=sys.stderr)
+    return 0 if validated.ok else 1
 
 
 def _cmd_report(arguments) -> int:
@@ -207,6 +250,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seeds", type=int, default=8,
                        help="number of stimulus lanes (default 8)")
     sweep.set_defaults(handler=_cmd_sweep)
+
+    compose = subparsers.add_parser(
+        "compose",
+        help="build and simulate a multi-kernel dataflow scenario")
+    compose.add_argument("scenario", nargs="?", default=None,
+                         help="registered scenario name (see --list)")
+    compose.add_argument("--list", action="store_true",
+                         help="list registered scenarios and exit")
+    compose.add_argument("-p", "--param", action="append", metavar="KEY=VALUE",
+                         help="scenario size parameter (repeatable)")
+    compose.add_argument("--pipeline", default=None,
+                         choices=("optimize", "verify", "none", "legacy"),
+                         help="pass pipeline (default: optimize)")
+    compose.add_argument("--engine", default=None,
+                         help="simulation engine (default: process/env)")
+    compose.add_argument("--seed", type=int, default=0,
+                         help="stimulus seed for the validation run")
+    compose.add_argument("--seeds", type=int, default=None,
+                         help="run N lanes on the batched engine instead")
+    compose.add_argument("--schedule", action="store_true",
+                         help="print the static node schedule")
+    compose.set_defaults(handler=_cmd_compose)
 
     report = subparsers.add_parser(
         "report", help="regenerate the paper's tables and figures")

@@ -28,6 +28,34 @@ QUICK_TABLE6_PARAMS: Dict[str, Dict[str, int]] = {
     name: params for name, params in QUICK_TABLE5_PARAMS.items() if name != "fifo"
 }
 
+#: The post-paper workloads (PR 5), validated alongside the paper's six.
+NEW_WORKLOAD_PARAMS: Dict[str, Dict[str, int]] = {
+    "matvec": {"size": 16},
+    "prefix_sum": {"size": 64},
+    "spmv": {"rows": 16, "nnz": 4},
+    "sorting_network": {"size": 8},
+}
+
+QUICK_NEW_WORKLOAD_PARAMS: Dict[str, Dict[str, int]] = {
+    "matvec": {"size": 6},
+    "prefix_sum": {"size": 16},
+    "spmv": {"rows": 6, "nnz": 3},
+    "sorting_network": {"size": 8},
+}
+
+#: Composed dataflow scenarios validated end to end (repro.graph).
+SCENARIO_PARAMS: Dict[str, Dict[str, int]] = {
+    "gemm_pipeline": {"size": 8},
+    "histogram_cdf": {"pixels": 128, "bins": 32},
+    "sorted_scan": {"size": 8},
+}
+
+QUICK_SCENARIO_PARAMS: Dict[str, Dict[str, int]] = {
+    "gemm_pipeline": {"size": 4},
+    "histogram_cdf": {"pixels": 64, "bins": 16},
+    "sorted_scan": {"size": 8},
+}
+
 
 @dataclass
 class ValidationRow:
@@ -53,7 +81,9 @@ def validate_kernels(engine: str = "differential",
     """
     config = (config or FlowConfig()).with_(pipeline="none", engine=engine)
     rows: Dict[str, ValidationRow] = {}
-    for kernel, kernel_params in (params or table5.DEFAULT_PARAMS).items():
+    if params is None:
+        params = {**table5.DEFAULT_PARAMS, **NEW_WORKLOAD_PARAMS}
+    for kernel, kernel_params in params.items():
         flow = Flow.from_kernel(kernel, config=config, **kernel_params)
         outcome = flow.validate(seed=1).value
         rows[kernel] = ValidationRow(kernel=kernel, engine=outcome.engine,
@@ -61,12 +91,33 @@ def validate_kernels(engine: str = "differential",
     return rows
 
 
+def validate_scenarios(engine: str = "differential",
+                       params: Optional[Dict[str, Dict[str, int]]] = None,
+                       config: Optional[FlowConfig] = None,
+                       ) -> Dict[str, ValidationRow]:
+    """Cross-check every composed dataflow scenario end to end.
+
+    Each scenario is lowered through :mod:`repro.graph`, simulated on the
+    selected engine (default: interpreted and compiled in lockstep) and
+    compared against the chained numpy references of its nodes.
+    """
+    config = (config or FlowConfig()).with_(pipeline="none", engine=engine)
+    rows: Dict[str, ValidationRow] = {}
+    for scenario, scenario_params in (params or SCENARIO_PARAMS).items():
+        flow = Flow.from_scenario(scenario, config=config, **scenario_params)
+        outcome = flow.validate(seed=1).value
+        rows[f"graph:{scenario}"] = ValidationRow(
+            kernel=f"graph:{scenario}", engine=outcome.engine,
+            cycles=outcome.cycles, ok=outcome.ok)
+    return rows
+
+
 def render_validation(rows: Dict[str, ValidationRow]) -> str:
     lines = ["Functional validation (simulated vs numpy reference)",
-             f"{'kernel':<14} {'engine':<14} {'cycles':>8}  status"]
+             f"{'kernel':<20} {'engine':<14} {'cycles':>8}  status"]
     for row in rows.values():
         status = "ok" if row.ok else "MISMATCH"
-        lines.append(f"{row.kernel:<14} {row.engine:<14} {row.cycles:>8}  "
+        lines.append(f"{row.kernel:<20} {row.engine:<14} {row.cycles:>8}  "
                      f"{status}")
     return "\n".join(lines)
 
@@ -175,9 +226,13 @@ def run_all(quick: bool = False, sim_engine: Optional[str] = None,
         if validate:
             # Validation always uses the differential harness (both engines
             # in lockstep), independent of the engine the experiments use.
-            results.validation = validate_kernels(
-                params=QUICK_TABLE5_PARAMS if quick else None,
-                config=config)
+            kernel_params = ({**QUICK_TABLE5_PARAMS,
+                              **QUICK_NEW_WORKLOAD_PARAMS} if quick else None)
+            results.validation = validate_kernels(params=kernel_params,
+                                                  config=config)
+            results.validation.update(validate_scenarios(
+                params=QUICK_SCENARIO_PARAMS if quick else None,
+                config=config))
         if timing:
             results.compile_timing = render_compile_timing(quick=quick,
                                                            jobs=jobs,

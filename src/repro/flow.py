@@ -386,11 +386,22 @@ class Flow:
         external_models: Optional[Mapping[str, Callable]] = None,
         output_warmup: Optional[Mapping[str, int]] = None,
     ) -> None:
+        #: stage name -> (cache key, artifact)
+        self._stages: Dict[str, Tuple[tuple, Artifact]] = {}
+        from repro.graph.graph import DesignGraph  # local: layering
+        #: The DesignGraph behind a composed flow (None for plain sources).
+        self.graph: Optional[DesignGraph] = None
+        if isinstance(source, DesignGraph):
+            self.graph = source
+            name = name or source.name
+            # Build through the compose stage so the first composition is
+            # cached under the graph fingerprint like any later rebuild.
+            source = self.compose().value
         module = source.module if hasattr(source, "module") else source
         if not isinstance(module, ModuleOp):
             raise FlowError(
-                f"Flow needs a ModuleOp, a DesignBuilder or KernelArtifacts; "
-                f"got {type(source).__name__}"
+                f"Flow needs a ModuleOp, a DesignBuilder, KernelArtifacts or "
+                f"a DesignGraph; got {type(source).__name__}"
             )
         #: The object this Flow was constructed from (e.g. KernelArtifacts),
         #: for callers that need source-side extras such as ``hls_program``.
@@ -414,8 +425,6 @@ class Flow:
             pick(external_models, "external_models", {}))
         self.output_warmup: Dict[str, int] = dict(
             pick(output_warmup, "output_warmup", {}))
-        #: stage name -> (cache key, artifact)
-        self._stages: Dict[str, Tuple[tuple, Artifact]] = {}
 
     # -- constructors -------------------------------------------------------
     @classmethod
@@ -428,6 +437,27 @@ class Flow:
         """
         from repro.kernels import build_kernel
         return cls(build_kernel(kernel, **parameters), config=config)
+
+    @classmethod
+    def from_graph(cls, graph: Any, *,
+                   config: Optional[FlowConfig] = None) -> "Flow":
+        """Wrap a :class:`~repro.graph.DesignGraph` in a Flow.
+
+        The flow gains a ``compose`` stage ahead of ``hir``: the composed
+        module is cached under the graph's fingerprint (which folds in every
+        node module's content), so editing any node's HIR — or rewiring the
+        graph — transparently rebuilds the composition and invalidates every
+        downstream stage.
+        """
+        return cls(graph, config=config)
+
+    @classmethod
+    def from_scenario(cls, scenario: str, *,
+                      config: Optional[FlowConfig] = None,
+                      **parameters: Any) -> "Flow":
+        """Build a registered composed scenario and wrap it in a Flow."""
+        from repro.graph import build_scenario
+        return cls(build_scenario(scenario, **parameters), config=config)
 
     # -- source introspection ------------------------------------------------
     def _functions(self) -> List[FuncOp]:
@@ -480,8 +510,52 @@ class Flow:
                 for stage, (_, artifact) in self._stages.items()}
 
     # -- stages -------------------------------------------------------------
+    def compose(self):
+        """The composed artifacts of a graph-backed flow (cached per graph).
+
+        The cache key is :meth:`repro.graph.DesignGraph.fingerprint` — a hash
+        over every node module's content plus the edge/expose structure — so
+        mutating one node's HIR rebuilds the composition while an untouched
+        graph is served from cache.
+        """
+        if self.graph is None:
+            raise FlowError(
+                f"flow '{getattr(self, 'name', '?')}' was not built from a "
+                "DesignGraph; construct it with Flow.from_graph(...)"
+            )
+        fingerprint = self.graph.fingerprint()
+        key = (fingerprint,)
+        provenance = (("graph", fingerprint),)
+
+        def build():
+            start = _time.perf_counter()
+            artifacts = self.graph.build()
+            return artifacts, _time.perf_counter() - start
+
+        return self._stage("compose", key, fingerprint, provenance, build)
+
+    def _adopt_composed(self, artifacts: Any, fingerprint: str) -> None:
+        """Point this flow at freshly composed artifacts (graph changed)."""
+        self._adopted_graph_fingerprint = fingerprint
+        self.module = artifacts.module
+        self.top = artifacts.top
+        self.interfaces = dict(artifacts.interfaces)
+        self.scalar_args = dict(artifacts.scalar_args)
+        self.make_inputs = artifacts.make_inputs
+        self.reference = artifacts.reference
+        self.external_models = dict(artifacts.external_models)
+        self.output_warmup = dict(artifacts.output_warmup)
+
     def hir(self) -> Artifact[ModuleOp]:
         """The source HIR module, structurally verified (lazily, per content)."""
+        if self.graph is not None:
+            composed = self.compose()
+            # Adopt whenever the graph content moved past what this flow
+            # last adopted — NOT on the artifact's cached flag, which a
+            # direct compose() call in between would already have consumed.
+            if composed.fingerprint != getattr(
+                    self, "_adopted_graph_fingerprint", None):
+                self._adopt_composed(composed.value, composed.fingerprint)
         fingerprint = module_fingerprint(self.module)
         key = (fingerprint, self.config.verify_structure)
         provenance = (("module", fingerprint),

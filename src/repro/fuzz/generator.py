@@ -47,14 +47,24 @@ MAX_OFFSET = 8
 OP_CEILING = 256
 
 
-def generate_spec(seed: int, max_ops: int = 40) -> ProgramSpec:
-    """One random, schedule-valid program spec for ``seed``."""
+def generate_spec(seed: int, max_ops: int = 40,
+                  sizes: Optional[Tuple[int, ...]] = None) -> ProgramSpec:
+    """One random, schedule-valid program spec for ``seed``.
+
+    ``sizes`` pins the loop extents (and thereby every interface shape) —
+    the compose mode uses this to make a consumer whose inputs match a
+    producer's output shape.
+    """
     if max_ops < 1:
         raise ValueError(f"max_ops must be >= 1, got {max_ops}")
     rng = random.Random(seed)
-    rank = 1 if rng.random() < 0.6 else 2
-    sizes = tuple(([rng.randint(2, 4)] if rank == 2 else [])
-                  + [rng.randint(4, 8)])
+    if sizes is None:
+        rank = 1 if rng.random() < 0.6 else 2
+        sizes = tuple(([rng.randint(2, 4)] if rank == 2 else [])
+                      + [rng.randint(4, 8)])
+    else:
+        sizes = tuple(sizes)
+        rank = len(sizes)
     ii = rng.choice((1, 1, 1, 2, 3))
     n_inputs = rng.randint(1, 3)
     n_outputs = rng.randint(1, 2)
@@ -172,6 +182,20 @@ def _random_op(rng: random.Random,
     return OpSpec(kind="delay", operands=(operand[0],), params=(cycles,))
 
 
+def derive_consumer_spec(spec: ProgramSpec, max_ops: int = 40) -> ProgramSpec:
+    """The compose mode's downstream program for ``spec``.
+
+    Deterministically derives a second program whose loop extents equal the
+    shape of ``spec``'s first output, so the producer's ``O0`` can stream
+    into the consumer's ``A0`` through a :class:`repro.graph.DesignGraph`
+    edge.  The consumer is an ordinary generated program (own seed stream),
+    merely pinned to the matching shape.
+    """
+    out_shape = tuple(spec.sizes[dim] for dim in spec.writes[0].index_perm)
+    return generate_spec(spec.seed ^ 0x5EED_C0DE, max_ops=max_ops,
+                         sizes=out_shape)
+
+
 def _pick_write_value(rng: random.Random,
                       pool: List[Tuple[str, Optional[int]]]) -> str:
     # Prefer op results so the written value exercises the generated DAG;
@@ -186,4 +210,5 @@ def _pick_write_value(rng: random.Random,
     return rng.choice([ref for ref, _ in pool])
 
 
-__all__ = ["CONST_POOL", "MAX_OFFSET", "OP_CEILING", "generate_spec"]
+__all__ = ["CONST_POOL", "MAX_OFFSET", "OP_CEILING", "derive_consumer_spec",
+           "generate_spec"]

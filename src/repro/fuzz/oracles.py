@@ -18,6 +18,13 @@ paths and demands equivalence:
     Interpreted vs compiled simulation in lockstep (every signal and memory
     word, every phase, via :class:`DifferentialSimulator`), plus the batched
     engine lane-for-lane against per-lane interpreted runs.
+``compose``
+    The generated program composed with a derived downstream program into a
+    two-node :class:`repro.graph.DesignGraph` (producer output streaming
+    into consumer input through an on-chip buffer): the composed multi-
+    module design must be schedule-clean, and interpreted, compiled and
+    batched simulation of it must agree exactly like the single-kernel
+    engine oracle demands.
 ``flow-cache``
     Cold vs warm :class:`repro.flow.Flow` stages: warm accesses must be
     served from cache with identical bytes, rebuilding a fresh session must
@@ -46,7 +53,7 @@ from repro.verilog.codegen import generate_verilog_impl
 from repro.verilog.emitter import emit_design
 
 #: Oracle names in the order they run.
-ORACLES: Tuple[str, ...] = ("pipeline", "engines", "flow-cache")
+ORACLES: Tuple[str, ...] = ("pipeline", "engines", "compose", "flow-cache")
 
 #: Stimulus lanes the engine oracle drives through the batched engine.
 DEFAULT_LANES = 3
@@ -239,6 +246,107 @@ def check_engines(spec: ProgramSpec,
     return None
 
 
+def check_compose(spec: ProgramSpec,
+                  lanes: int = 2) -> Optional[OracleFailure]:
+    """A two-node composition of the program must behave like one design."""
+    from repro.ir.errors import SimulationError
+    from repro.graph import DesignGraph, GraphError
+    from repro.fuzz.generator import derive_consumer_spec
+    from repro.kernels.base import KernelArtifacts
+    from repro.sim.engine.batch import run_design_batch_impl
+    from repro.sim.engine.differential import DivergenceError
+    from repro.sim.testbench import run_design_impl
+
+    consumer_spec = derive_consumer_spec(spec)
+    try:
+        producer = materialize(spec, name="producer")
+        consumer = materialize(consumer_spec, name="consumer")
+        graph = DesignGraph(f"fuzz_compose_{spec.seed}")
+        producer_node = graph.add_node(KernelArtifacts(
+            name="producer", module=producer.module, top=producer.top,
+            interfaces=producer.interfaces))
+        consumer_node = graph.add_node(KernelArtifacts(
+            name="consumer", module=consumer.module, top=consumer.top,
+            interfaces=consumer.interfaces))
+        graph.connect(producer_node, producer.output_names[0],
+                      consumer_node, consumer.input_names[0])
+        artifacts = graph.build()
+    except (GraphError, IRError) as error:
+        return OracleFailure("compose", f"composition failed: {error}")
+    try:
+        verify_structure(artifacts.module)
+    except IRError as error:
+        return OracleFailure(
+            "compose", f"composed module is structurally invalid: {error}")
+    report = verify_schedule(artifacts.module)
+    if not report.ok:
+        return OracleFailure(
+            "compose",
+            "composed design is not schedule-clean: "
+            + "; ".join(d.render() for d in report.diagnostics[:3]),
+        )
+    try:
+        optimization_pipeline(verify_each=False).run(artifacts.module)
+        design = generate_verilog_impl(artifacts.module,
+                                       top=artifacts.top).design
+    except IRError as error:
+        return OracleFailure("compose", f"composed compile crashed: {error}")
+
+    lane_inputs = [dict(artifacts.make_inputs(lane)) for lane in range(lanes)]
+    outputs = [name for name, memref_type in artifacts.interfaces.items()
+               if memref_type.can_write]
+
+    single_runs = []
+    for lane, inputs in enumerate(lane_inputs):
+        engine = "differential" if lane == 0 else "interpreted"
+        try:
+            run = run_design_impl(
+                design,
+                memories={name: (memref_type, inputs[name])
+                          for name, memref_type in artifacts.interfaces.items()},
+                max_cycles=MAX_CYCLES, drain_cycles=16, engine=engine)
+        except DivergenceError as error:
+            return OracleFailure(
+                "compose", f"compiled engine diverged from the interpreted "
+                f"reference on the composed design (lane {lane}): {error}")
+        except SimulationError as error:
+            return OracleFailure("compose",
+                                 f"composed simulation crashed: {error}")
+        if not run.done:
+            return OracleFailure(
+                "compose",
+                f"composed design never pulsed done within {MAX_CYCLES} "
+                f"cycles (lane {lane})")
+        single_runs.append(run)
+
+    try:
+        batch = run_design_batch_impl(
+            design,
+            memories={name: (memref_type,
+                             [inputs[name] for inputs in lane_inputs])
+                      for name, memref_type in artifacts.interfaces.items()},
+            max_cycles=MAX_CYCLES, drain_cycles=16)
+    except SimulationError as error:
+        return OracleFailure("compose",
+                             f"batched composed engine crashed: {error}")
+    for lane, single in enumerate(single_runs):
+        if not batch.done[lane] or int(batch.cycles[lane]) != single.cycles:
+            return OracleFailure(
+                "compose",
+                f"batched lane {lane} of the composed design took "
+                f"{int(batch.cycles[lane])} cycles (done={bool(batch.done[lane])}), "
+                f"single-lane run took {single.cycles}")
+        for name in outputs:
+            expected = single.memory_array(name)
+            produced = batch.memory_array(name, lane)
+            if not np.array_equal(produced, expected):
+                return OracleFailure(
+                    "compose",
+                    f"batched lane {lane} output '{name}' of the composed "
+                    "design differs from the single-lane run")
+    return None
+
+
 def check_flow_cache(spec: ProgramSpec) -> Optional[OracleFailure]:
     """Flow stage caching must be invisible except for speed."""
     from repro.flow import Flow, FlowConfig
@@ -320,6 +428,7 @@ def check_flow_cache(spec: ProgramSpec) -> Optional[OracleFailure]:
 _CHECKS = {
     "pipeline": check_pipeline,
     "engines": check_engines,
+    "compose": check_compose,
     "flow-cache": check_flow_cache,
 }
 
@@ -354,6 +463,7 @@ __all__ = [
     "MAX_CYCLES",
     "ORACLES",
     "OracleFailure",
+    "check_compose",
     "check_engines",
     "check_flow_cache",
     "check_generator",

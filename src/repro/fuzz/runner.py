@@ -10,7 +10,10 @@ Seeds are the unit of reproducibility end to end::
 
     python -m repro fuzz --seed 0 --count 100 --max-ops 40
     python -m repro fuzz --seed 123456 --count 1      # replay one seed
-    PYTHONPATH=src python fuzz-failures/seed_123456.py  # replay the repro
+    python fuzz-failures/seed_123456.py               # replay the repro
+
+Reproducer scripts bootstrap ``sys.path`` themselves (repo-root ``src``
+layout), so they run from a fresh checkout without a PYTHONPATH export.
 """
 
 from __future__ import annotations
@@ -38,10 +41,26 @@ oracle    : {oracle}
 found by  : python -m repro fuzz --seed {seed} --count 1 --max-ops {max_ops}
 message   : {message}
 
-Replay from the repository root (exits 1 while the bug reproduces):
+Replay from anywhere (exits 1 while the bug reproduces):
 
-    PYTHONPATH=src python {filename}
+    python {filename}
+
+The script bootstraps ``sys.path`` itself, so no PYTHONPATH export is
+needed; an installed ``repro`` package takes precedence if present.
 """
+
+import os
+import sys
+
+try:
+    import repro  # noqa: F401 - installed package wins
+except ImportError:
+    _here = os.path.dirname(os.path.abspath(__file__))
+    for _candidate in (_here, os.path.dirname(_here)):
+        _src = os.path.join(_candidate, "src")
+        if os.path.isdir(os.path.join(_src, "repro")):
+            sys.path.insert(0, _src)
+            break
 
 SPEC = {spec_literal}
 

@@ -1,0 +1,48 @@
+"""Multi-kernel dataflow composition.
+
+``repro.graph`` links kernels into pipelines: a :class:`DesignGraph` of
+kernel nodes connected by on-chip stream-buffer edges, lowered to one
+multi-module Verilog design with a statically scheduled top-level wrapper.
+Composed designs are plain :class:`~repro.kernels.base.KernelArtifacts`, so
+they flow through ``Flow``, the CLI, batched sweeps and the evaluation
+harness unchanged.  See :mod:`repro.graph.graph` for the composition rules
+and :mod:`repro.graph.scenarios` for the registered example pipelines.
+"""
+
+from repro.graph.graph import (
+    DesignGraph,
+    EDGE_MARGIN,
+    GraphArtifacts,
+    GraphEdge,
+    GraphError,
+    GraphNode,
+    NodeSchedule,
+)
+from repro.graph.scenarios import (
+    SCENARIO_BUILDERS,
+    UnknownScenarioError,
+    build_scenario,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+from repro.graph.timing import FunctionTiming, TimingError, analyze_function
+
+__all__ = [
+    "DesignGraph",
+    "EDGE_MARGIN",
+    "FunctionTiming",
+    "GraphArtifacts",
+    "GraphEdge",
+    "GraphError",
+    "GraphNode",
+    "NodeSchedule",
+    "SCENARIO_BUILDERS",
+    "TimingError",
+    "UnknownScenarioError",
+    "analyze_function",
+    "build_scenario",
+    "register_scenario",
+    "scenario_names",
+    "unregister_scenario",
+]

@@ -1,0 +1,121 @@
+"""Registered composed-design scenarios (the graph-level kernel registry).
+
+Each scenario builder returns a ready-to-lower :class:`~repro.graph.graph.
+DesignGraph`; `python -m repro compose` and the evaluation harness resolve
+scenarios by name exactly like kernels.  Out-of-tree scenarios plug in via
+:func:`register_scenario`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.graph.graph import DesignGraph, GraphError
+
+
+def build_gemm_pipeline(size: int = 4) -> DesignGraph:
+    """``gemm -> transpose -> stencil_1d``: a 3-stage linear-algebra pipeline.
+
+    The GEMM result streams through a transpose into a 1-D weighted stencil;
+    the transpose-to-stencil edge is reshape-compatible (``size x size``
+    matrix read as a ``size**2`` vector).
+    """
+    graph = DesignGraph("gemm_pipeline")
+    gemm = graph.add_kernel("gemm", size=size)
+    transpose = graph.add_kernel("transpose", size=size)
+    stencil = graph.add_kernel("stencil_1d", size=size * size)
+    graph.connect(gemm, "C", transpose, "Ai")
+    graph.connect(transpose, "Co", stencil, "Ai")
+    graph.expose(gemm, "A", "A")
+    graph.expose(gemm, "B", "B")
+    graph.expose(stencil, "Bw", "out")
+    return graph
+
+
+def build_histogram_cdf(pixels: int = 64, bins: int = 16) -> DesignGraph:
+    """``histogram -> prefix_sum``: the cumulative distribution of an image.
+
+    The histogram's bin counts stream into an inclusive scan, producing the
+    CDF used by e.g. histogram equalization.
+    """
+    graph = DesignGraph("histogram_cdf")
+    histogram = graph.add_kernel("histogram", pixels=pixels, bins=bins)
+    scan = graph.add_kernel("prefix_sum", size=bins)
+    graph.connect(histogram, "hist", scan, "xs")
+    graph.expose(histogram, "img", "img")
+    graph.expose(scan, "sums", "cdf")
+    return graph
+
+
+def build_sorted_scan(size: int = 8) -> DesignGraph:
+    """``sorting_network -> prefix_sum``: running totals of sorted data."""
+    graph = DesignGraph("sorted_scan")
+    sorter = graph.add_kernel("sorting_network", size=size)
+    scan = graph.add_kernel("prefix_sum", size=size)
+    graph.connect(sorter, "sorted", scan, "xs")
+    graph.expose(sorter, "xs", "xs")
+    graph.expose(scan, "sums", "sums")
+    return graph
+
+
+SCENARIO_BUILDERS: Dict[str, Callable[..., DesignGraph]] = {
+    "gemm_pipeline": build_gemm_pipeline,
+    "histogram_cdf": build_histogram_cdf,
+    "sorted_scan": build_sorted_scan,
+}
+
+
+class UnknownScenarioError(GraphError):
+    """An unregistered scenario name, with the registry spelled out."""
+
+    def __init__(self, name: str) -> None:
+        self.scenario = name
+        super().__init__(
+            f"unknown scenario {name!r}; registered scenarios: "
+            f"{', '.join(sorted(SCENARIO_BUILDERS))}. Out-of-tree scenarios "
+            "can be added with repro.graph.register_scenario(name, builder)."
+        )
+
+
+def register_scenario(name: str, builder: Callable[..., DesignGraph],
+                      *, overwrite: bool = False,
+                      ) -> Callable[..., DesignGraph]:
+    """Register an out-of-tree scenario builder under ``name``."""
+    if not callable(builder):
+        raise TypeError(f"scenario builder for {name!r} must be callable")
+    if name in SCENARIO_BUILDERS and not overwrite:
+        raise ValueError(
+            f"scenario {name!r} is already registered; pass overwrite=True "
+            "to replace it"
+        )
+    SCENARIO_BUILDERS[name] = builder
+    return builder
+
+
+def unregister_scenario(name: str) -> None:
+    SCENARIO_BUILDERS.pop(name, None)
+
+
+def build_scenario(name: str, **parameters) -> DesignGraph:
+    """Build one registered scenario by name with optional size parameters."""
+    builder = SCENARIO_BUILDERS.get(name)
+    if builder is None:
+        raise UnknownScenarioError(name)
+    return builder(**parameters)
+
+
+def scenario_names() -> List[str]:
+    return list(SCENARIO_BUILDERS)
+
+
+__all__ = [
+    "SCENARIO_BUILDERS",
+    "UnknownScenarioError",
+    "build_gemm_pipeline",
+    "build_histogram_cdf",
+    "build_sorted_scan",
+    "build_scenario",
+    "register_scenario",
+    "scenario_names",
+    "unregister_scenario",
+]

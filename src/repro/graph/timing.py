@@ -1,0 +1,282 @@
+"""Static timing of an ``hir.func``: when does it finish, when does it last
+touch memory.
+
+Composing kernels into a dataflow graph (:mod:`repro.graph`) needs two
+numbers per node, both statically derivable from the explicit schedules that
+are HIR's core idea:
+
+``done``
+    The cycle (relative to the function's start pulse) at which the
+    generated module's ``done`` output rises — the same completion
+    condition :mod:`repro.verilog.codegen` synthesises: every top-level
+    loop, call and directly scheduled operation has finished.
+``last_activity``
+    The last cycle at which the function can still issue or complete a
+    memory access (interface or local).  A downstream node reading a buffer
+    this node writes must not start before this cycle has passed.
+
+Both are exact for the statically scheduled programs HIR expresses: loop
+bounds are compile-time constants, every op carries an explicit
+``(time, offset)``, and per-iteration durations follow from the loop's
+``hir.yield``.  Designs that fall outside that fragment (data-dependent
+bounds) raise :class:`TimingError` — they cannot be composed safely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.ir.errors import IRError
+from repro.ir.module import ModuleOp
+from repro.ir.operation import Operation
+from repro.ir.values import Value
+from repro.hir.ops import (
+    CallOp,
+    DelayOp,
+    ForOp,
+    FuncOp,
+    MemReadOp,
+    MemWriteOp,
+    UnrollForOp,
+    constant_value,
+)
+
+
+class TimingError(IRError):
+    """The function's schedule is not statically analyzable."""
+
+
+@dataclass(frozen=True)
+class FunctionTiming:
+    """Static completion profile of one function (cycles from its start)."""
+
+    #: Cycle the generated module's ``done`` output rises.
+    done: int
+    #: Last cycle any memory access of the function can still be in flight.
+    last_activity: int
+
+    @property
+    def quiet(self) -> int:
+        """First cycle by which the function is certainly finished *and*
+        every trailing write has committed (safe start for a consumer)."""
+        return max(self.done, self.last_activity) + 1
+
+
+class _FunctionAnalyzer:
+    """Walks one function, tracking absolute cycles per time variable.
+
+    ``abs_time`` maps a time-variable :class:`Value` to the absolute cycle of
+    its *last* pulse — for loops that is the final iteration, which bounds
+    every activity scheduled against it.
+    """
+
+    def __init__(self, module: Optional[ModuleOp], func: FuncOp,
+                 cache: Dict[str, FunctionTiming]) -> None:
+        self.module = module
+        self.func = func
+        self.cache = cache
+        self.last_activity = 0
+        self.done_candidates: List[int] = []
+
+    def run(self) -> FunctionTiming:
+        abs_time: Dict[int, int] = {id(self.func.time_arg): 0}
+        self._walk_block(self.func.body.operations, abs_time, top_level=True)
+        top_offsets = [
+            op.offset for op in self.func.body.operations
+            if isinstance(op, (MemReadOp, MemWriteOp, DelayOp, CallOp))
+            and op.time_operand is self.func.time_arg
+        ]
+        if top_offsets:
+            self.done_candidates.append(max(top_offsets) + 1)
+        if self.func.result_delays:
+            self.done_candidates.append(max(self.func.result_delays))
+        if self.done_candidates:
+            # Completion pulses set sticky flags; the ``done`` output (the
+            # AND of the flags) rises one register delay after the last one.
+            done = max(self.done_candidates) + 1
+        else:
+            # No loops/calls/timed ops: codegen aliases done to start.
+            done = 0
+        return FunctionTiming(done=done,
+                              last_activity=max(self.last_activity, done))
+
+    # -- helpers -------------------------------------------------------------
+    def _abs(self, abs_time: Dict[int, int], time: Value, op: Operation) -> int:
+        cycle = abs_time.get(id(time))
+        if cycle is None:
+            raise TimingError(
+                f"operation '{op.name}' in @{self.func.symbol_name} is "
+                "scheduled against a time variable outside the analyzed "
+                "region; its schedule cannot be statically timed",
+                op.location,
+            )
+        return cycle
+
+    @staticmethod
+    def _constant(value: Value, what: str, op: Operation) -> int:
+        constant = constant_value(value)
+        if constant is None:
+            raise TimingError(
+                f"{what} of '{op.name}' is not a compile-time constant; "
+                "data-dependent schedules cannot be composed",
+                op.location,
+            )
+        return constant
+
+    def _activity(self, cycle: int) -> None:
+        if cycle > self.last_activity:
+            self.last_activity = cycle
+
+    # -- the walk ------------------------------------------------------------
+    def _walk_block(self, operations, abs_time: Dict[int, int],
+                    top_level: bool) -> None:
+        for op in operations:
+            if isinstance(op, ForOp):
+                done = self._walk_for(op, abs_time)
+                if top_level:
+                    self.done_candidates.append(done)
+            elif isinstance(op, UnrollForOp):
+                done = self._walk_unroll_for(op, abs_time)
+                if top_level:
+                    self.done_candidates.append(done)
+            elif isinstance(op, MemReadOp):
+                start = self._abs(abs_time, op.time_operand, op) + op.offset
+                self._activity(start + op.memref_type.read_latency)
+            elif isinstance(op, MemWriteOp):
+                self._activity(self._abs(abs_time, op.time_operand, op)
+                               + op.offset)
+            elif isinstance(op, DelayOp):
+                self._activity(self._abs(abs_time, op.time_operand, op)
+                               + op.offset + op.delay)
+            elif isinstance(op, CallOp):
+                start = self._abs(abs_time, op.time_operand, op) + op.offset
+                callee_timing = self._callee_timing(op)
+                self._activity(start + callee_timing.last_activity)
+                if top_level:
+                    self.done_candidates.append(start + callee_timing.done)
+
+    def _callee_timing(self, op: CallOp) -> FunctionTiming:
+        if self.module is None:
+            raise TimingError(
+                f"cannot time call @{op.callee}: no module context",
+                op.location,
+            )
+        callee = self.module.lookup(op.callee)
+        if not isinstance(callee, FuncOp) or callee.is_external:
+            raise TimingError(
+                f"cannot statically time a call to @{op.callee} (external or "
+                "missing); composition needs fully analyzable callees",
+                op.location,
+            )
+        return analyze_function(self.module, callee, _cache=self.cache)
+
+    def _iteration_duration(self, loop, abs_time: Dict[int, int]) -> int:
+        """Cycles between consecutive iteration starts (the effective II).
+
+        A first, relative walk of the body resolves the ``hir.yield``'s time
+        operand — the iteration time itself, or an inner loop's completion —
+        to an offset from the iteration start.
+        """
+        yield_op = loop.yield_op()
+        if yield_op is None:
+            raise TimingError(
+                f"loop in @{self.func.symbol_name} has no hir.yield",
+                loop.location,
+            )
+        rel: Dict[int, int] = dict(abs_time)
+        rel[id(loop.iter_time)] = 0
+        # Resolve inner-loop completion times relative to this iteration.
+        self._resolve_loop_times(loop.body.operations, rel)
+        base = rel.get(id(yield_op.time_operand))
+        if base is None:
+            raise TimingError(
+                f"hir.yield in @{self.func.symbol_name} waits on a time "
+                "variable that cannot be statically resolved",
+                yield_op.location,
+            )
+        duration = base + yield_op.offset
+        if duration < 1:
+            raise TimingError(
+                f"loop in @{self.func.symbol_name} has a non-positive "
+                f"iteration duration ({duration})",
+                loop.location,
+            )
+        return duration
+
+    def _resolve_loop_times(self, operations, rel: Dict[int, int]) -> None:
+        """Fill ``rel`` with first-pulse offsets of nested loops' time vars."""
+        for op in operations:
+            if isinstance(op, ForOp):
+                base = rel.get(id(op.time_operand))
+                if base is None:
+                    continue
+                trips = self._trip_count(op)
+                duration = self._iteration_duration(op, rel)
+                rel[id(op.iter_time)] = base + op.offset
+                rel[id(op.done_time)] = base + op.offset + trips * duration
+            elif isinstance(op, UnrollForOp):
+                base = rel.get(id(op.time_operand))
+                if base is None:
+                    continue
+                yield_op = op.yield_op()
+                interval = yield_op.offset if yield_op is not None else 0
+                trips = len(op.iterations())
+                rel[id(op.iter_time)] = base + op.offset
+                rel[id(op.done_time)] = (base + op.offset
+                                         + max(trips - 1, 0) * interval
+                                         + interval)
+                self._resolve_loop_times(op.body.operations, rel)
+
+    def _trip_count(self, op: ForOp) -> int:
+        lb = self._constant(op.lower_bound, "lower bound", op)
+        ub = self._constant(op.upper_bound, "upper bound", op)
+        step = self._constant(op.step, "step", op)
+        if step <= 0:
+            raise TimingError("loop step must be positive", op.location)
+        return max(0, (ub - lb + step - 1) // step)
+
+    def _walk_for(self, op: ForOp, abs_time: Dict[int, int]) -> int:
+        base = self._abs(abs_time, op.time_operand, op)
+        trips = self._trip_count(op)
+        duration = self._iteration_duration(op, abs_time)
+        last_start = base + op.offset + max(trips - 1, 0) * duration
+        done = base + op.offset + trips * duration
+        inner = dict(abs_time)
+        inner[id(op.iter_time)] = last_start
+        inner[id(op.done_time)] = done
+        abs_time[id(op.done_time)] = done
+        self._walk_block(op.body.operations, inner, top_level=False)
+        self._activity(done)
+        return done
+
+    def _walk_unroll_for(self, op: UnrollForOp, abs_time: Dict[int, int]) -> int:
+        base = self._abs(abs_time, op.time_operand, op)
+        yield_op = op.yield_op()
+        interval = yield_op.offset if yield_op is not None else 0
+        trips = len(op.iterations())
+        last_start = base + op.offset + max(trips - 1, 0) * interval
+        done = base + op.offset + max(trips - 1, 0) * interval + interval
+        inner = dict(abs_time)
+        inner[id(op.iter_time)] = last_start
+        inner[id(op.done_time)] = done
+        abs_time[id(op.done_time)] = done
+        self._walk_block(op.body.operations, inner, top_level=False)
+        self._activity(done)
+        return done
+
+
+def analyze_function(module: Optional[ModuleOp], func: FuncOp,
+                     _cache: Optional[Dict[str, FunctionTiming]] = None,
+                     ) -> FunctionTiming:
+    """Static :class:`FunctionTiming` of ``func`` (module resolves callees)."""
+    cache = _cache if _cache is not None else {}
+    cached = cache.get(func.symbol_name)
+    if cached is not None:
+        return cached
+    timing = _FunctionAnalyzer(module, func, cache).run()
+    cache[func.symbol_name] = timing
+    return timing
+
+
+__all__ = ["FunctionTiming", "TimingError", "analyze_function"]

@@ -10,7 +10,18 @@ which makes them visible to :meth:`repro.flow.Flow.from_kernel`, the
 
 from typing import Callable, Dict, List
 
-from repro.kernels import convolution, fifo, gemm, histogram, stencil1d, transpose
+from repro.kernels import (
+    convolution,
+    fifo,
+    gemm,
+    histogram,
+    matvec,
+    prefix_sum,
+    sorting_network,
+    spmv,
+    stencil1d,
+    transpose,
+)
 from repro.kernels.base import KernelArtifacts, default_rng
 
 KERNEL_BUILDERS: Dict[str, Callable[..., KernelArtifacts]] = {
@@ -20,6 +31,11 @@ KERNEL_BUILDERS: Dict[str, Callable[..., KernelArtifacts]] = {
     "gemm": gemm.build,
     "convolution": convolution.build,
     "fifo": fifo.build,
+    # New workloads (beyond the paper's six), composable via repro.graph.
+    "matvec": matvec.build,
+    "prefix_sum": prefix_sum.build,
+    "spmv": spmv.build,
+    "sorting_network": sorting_network.build,
 }
 
 
@@ -98,6 +114,10 @@ __all__ = [
     "fifo",
     "gemm",
     "histogram",
+    "matvec",
+    "prefix_sum",
+    "sorting_network",
+    "spmv",
     "stencil1d",
     "transpose",
 ]

@@ -1,0 +1,89 @@
+"""Odd-even transposition sorting network (new workload).
+
+A fixed-size sorting network is pure spatial hardware: the input vector is
+streamed into a fully distributed register file, ``n`` rounds of
+compare-exchange stages (round ``r`` swaps the odd or even adjacent pairs)
+run one round per cycle, and the sorted register file is streamed back out.
+Every stage is generated at build time with Python loops — all indices are
+compile-time constants, so each register is read combinationally and written
+by at most one comparator per cycle.  Latency is exactly ``3n + 1`` cycles
+regardless of the data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.ir.types import I32
+from repro.hir.build import DesignBuilder
+from repro.hir.types import MemrefType
+from repro.kernels.base import KernelArtifacts, default_rng
+
+#: Generated comparisons are unsigned; adding 2^31 to both operands turns an
+#: unsigned ``<=`` into a signed one (two's-complement order shift).
+SIGN_BIAS = 1 << 31
+
+
+def build_hir(size: int = 8) -> DesignBuilder:
+    design = DesignBuilder("sorting_network_design")
+    in_type = MemrefType((size,), I32, port="r")
+    out_type = MemrefType((size,), I32, port="w")
+    with design.func("sort_network", [("xs", in_type),
+                                      ("sorted", out_type)]) as f:
+        lanes_r, lanes_w = f.alloc((size,), I32, ports=("r", "w"), packing=[],
+                                   name="lane")
+        # Load: one element per cycle from the input interface.
+        for index in range(size):
+            value = f.mem_read(f.arg("xs"), [index], time=f.time, offset=index)
+            f.mem_write(value, lanes_w, [index], time=f.time, offset=index + 1)
+        # Compare-exchange rounds: one round per cycle, odd/even pairs.
+        base = size + 1
+        for round_index in range(size):
+            cycle = base + round_index
+            for left in range(round_index % 2, size - 1, 2):
+                a = f.mem_read(lanes_r, [left], time=f.time, offset=cycle)
+                b = f.mem_read(lanes_r, [left + 1], time=f.time, offset=cycle)
+                ordered = f.cmp("le", f.add(a, SIGN_BIAS), f.add(b, SIGN_BIAS))
+                low = f.select(ordered, a, b)
+                high = f.select(ordered, b, a)
+                f.mem_write(low, lanes_w, [left], time=f.time, offset=cycle)
+                f.mem_write(high, lanes_w, [left + 1], time=f.time,
+                            offset=cycle)
+        # Drain: one sorted element per cycle to the output interface.
+        drain = base + size
+        for index in range(size):
+            value = f.mem_read(lanes_r, [index], time=f.time,
+                               offset=drain + index)
+            f.mem_write(value, f.arg("sorted"), [index], time=f.time,
+                        offset=drain + index)
+        f.return_()
+    return design
+
+
+def build(size: int = 8) -> KernelArtifacts:
+    design = build_hir(size)
+    in_type = MemrefType((size,), I32, port="r")
+    out_type = MemrefType((size,), I32, port="w")
+
+    def make_inputs(seed: int) -> Dict[str, np.ndarray]:
+        rng = default_rng(seed)
+        return {"xs": rng.integers(-1000, 1000, size=(size,)),
+                "sorted": np.zeros((size,), dtype=np.int64)}
+
+    def reference(inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {"sorted": np.sort(np.asarray(inputs["xs"], dtype=np.int64))}
+
+    return KernelArtifacts(
+        name="sorting_network",
+        module=design.module,
+        top="sort_network",
+        interfaces={"xs": in_type, "sorted": out_type},
+        make_inputs=make_inputs,
+        reference=reference,
+        notes=(f"{size}-lane odd-even transposition sorting network: "
+               f"register lanes, {size} compare-exchange rounds, one round "
+               "per cycle; no HLS-baseline program (the software IR has no "
+               "select), like the hand-written fifo baseline"),
+    )

@@ -24,6 +24,10 @@ SMALL = {
     "gemm": {"size": 2},
     "convolution": {"size": 6},
     "fifo": {"depth": 16},
+    "matvec": {"size": 4},
+    "prefix_sum": {"size": 8},
+    "spmv": {"rows": 4, "nnz": 2},
+    "sorting_network": {"size": 4},
 }
 
 

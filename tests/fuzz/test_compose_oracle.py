@@ -1,0 +1,74 @@
+"""The fuzzer's compose mode: generated programs chained through
+``repro.graph`` and cross-checked over every engine, plus the self-contained
+(sys.path-bootstrapping) reproducer scripts."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.fuzz.generator import derive_consumer_spec, generate_spec
+from repro.fuzz.oracles import ORACLES, OracleFailure, check_compose
+from repro.fuzz.runner import write_repro
+from repro.fuzz.spec import materialize
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+
+class TestComposeMode:
+    def test_compose_oracle_registered(self):
+        assert "compose" in ORACLES
+
+    def test_consumer_shape_matches_producer_output(self):
+        for seed in range(20):
+            spec = generate_spec(seed, max_ops=30)
+            consumer = derive_consumer_spec(spec)
+            out_shape = tuple(spec.sizes[dim]
+                              for dim in spec.writes[0].index_perm)
+            assert consumer.sizes == out_shape
+
+    def test_consumer_derivation_is_deterministic(self):
+        spec = generate_spec(3, max_ops=30)
+        assert derive_consumer_spec(spec) == derive_consumer_spec(spec)
+
+    def test_pinned_sizes_are_honoured(self):
+        spec = generate_spec(99, max_ops=20, sizes=(3, 5))
+        assert spec.sizes == (3, 5)
+        materialize(spec)  # still schedule-valid
+
+    @pytest.mark.tier1
+    def test_compose_oracle_clean_on_fixed_seeds(self):
+        for seed in range(6):
+            failure = check_compose(generate_spec(seed, max_ops=25))
+            assert failure is None, failure.render()
+
+
+class TestReproducerBootstrap:
+    def test_script_runs_without_pythonpath(self, tmp_path):
+        """A reproducer executed from the repo root with a clean environment
+        (no PYTHONPATH) must import repro via its own sys.path bootstrap."""
+        spec = generate_spec(5, max_ops=10)
+        # Mimic the real layout: <root>/fuzz-failures/seed_N.py next to
+        # <root>/src/repro (symlinked here so tmp_path acts as the root).
+        os.symlink(os.path.join(REPO_ROOT, "src"), tmp_path / "src")
+        out_dir = tmp_path / "fuzz-failures"
+        path = write_repro(spec, OracleFailure("pipeline", "synthetic"),
+                           str(out_dir), 10, oracles=("pipeline",))
+        env = {key: value for key, value in os.environ.items()
+               if key != "PYTHONPATH"}
+        result = subprocess.run([sys.executable, path], cwd=str(tmp_path),
+                                env=env, capture_output=True, text=True,
+                                timeout=120)
+        assert result.returncode == 0, result.stderr
+        assert "all oracles pass" in result.stdout
+
+    def test_script_mentions_no_pythonpath_requirement(self, tmp_path):
+        spec = generate_spec(5, max_ops=10)
+        path = write_repro(spec, OracleFailure("pipeline", "synthetic"),
+                           str(tmp_path), 10)
+        with open(path) as handle:
+            text = handle.read()
+        assert "sys.path" in text
+        assert "PYTHONPATH=src python" not in text

@@ -1,10 +1,13 @@
 """The nightly-CI contract in miniature: ~100 random programs, every one
-cross-checked over the pipeline, engine and Flow-cache oracles.
+cross-checked over the pipeline, engine, compose and Flow-cache oracles.
 
 Seeds are fixed, so this suite is deterministic; a failure here means a real
 divergence between two paths of the toolchain (or a generator regression)
 and comes with the failing seed in the assertion message — replay it with
 ``python -m repro fuzz --seed <N> --count 1``.
+
+The 100-program sweep is the ``slow`` tier; the default (tier-1) run keeps
+a 10-program canary so the oracles never go completely untested on a PR.
 """
 
 import pytest
@@ -16,6 +19,18 @@ CHUNKS = 10
 SEEDS_PER_CHUNK = 10
 
 
+@pytest.mark.tier1
+def test_fuzz_canary():
+    """A handful of programs through every oracle on every PR."""
+    for seed in range(8):
+        failure = check_program(generate_spec(seed, max_ops=25))
+        assert failure is None, (
+            f"seed {seed} diverged — replay with "
+            f"`python -m repro fuzz --seed {seed} --count 1`:\n"
+            f"{failure.render()}")
+
+
+@pytest.mark.slow
 @pytest.mark.parametrize("chunk", range(CHUNKS))
 def test_fuzz_smoke(chunk):
     for seed in range(chunk * SEEDS_PER_CHUNK,

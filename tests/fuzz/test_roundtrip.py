@@ -1,0 +1,76 @@
+"""Property-style printer -> parser round-trips over fuzz-generated IR.
+
+The fuzz oracles cross-check pipelines, engines, composition and caching but
+never exercise the textual format; this closes that gap: every generated
+``ProgramSpec``'s printed IR must re-parse to a module with an *identical*
+``module_fingerprint`` (the same canonical bytes the Flow cache keys on).
+The same property is asserted for every registered kernel and for a composed
+multi-function design, so symbols, calls and allocs all survive the trip.
+"""
+
+import pytest
+
+from repro.ir import parse_module, print_module
+from repro.ir.printer import module_fingerprint
+from repro.fuzz.generator import derive_consumer_spec, generate_spec
+from repro.fuzz.spec import materialize
+from repro.kernels import build_kernel
+
+#: Seeds swept by the tier-1 property run (the slow tier sweeps 10x more).
+TIER1_SEEDS = 25
+SLOW_SEEDS = 250
+
+
+def assert_roundtrip(module, context):
+    text = print_module(module)
+    reparsed = parse_module(text)
+    assert module_fingerprint(reparsed) == module_fingerprint(module), (
+        f"{context}: printed IR re-parsed to different canonical bytes")
+    # And the round-trip is a fixed point: print(parse(print(m))) == print(m).
+    assert print_module(reparsed) == text, (
+        f"{context}: reprinting the reparsed module changed the text")
+
+
+@pytest.mark.tier1
+def test_fuzz_programs_roundtrip_tier1():
+    for seed in range(TIER1_SEEDS):
+        spec = generate_spec(seed, max_ops=40)
+        assert_roundtrip(materialize(spec).module, f"seed {seed}")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("chunk", range(10))
+def test_fuzz_programs_roundtrip_full(chunk):
+    seeds_per_chunk = SLOW_SEEDS // 10
+    for seed in range(chunk * seeds_per_chunk, (chunk + 1) * seeds_per_chunk):
+        spec = generate_spec(seed, max_ops=60)
+        assert_roundtrip(materialize(spec).module, f"seed {seed}")
+
+
+def test_derived_consumer_programs_roundtrip():
+    for seed in range(10):
+        consumer = derive_consumer_spec(generate_spec(seed, max_ops=30))
+        assert_roundtrip(materialize(consumer).module,
+                         f"consumer of seed {seed}")
+
+
+@pytest.mark.parametrize("kernel,params", [
+    ("transpose", {"size": 4}),
+    ("stencil_1d", {"size": 8}),
+    ("histogram", {"pixels": 8, "bins": 8}),
+    ("gemm", {"size": 2}),
+    ("convolution", {"size": 6}),
+    ("fifo", {"depth": 8}),
+    ("matvec", {"size": 4}),
+    ("prefix_sum", {"size": 8}),
+    ("spmv", {"rows": 4, "nnz": 2}),
+    ("sorting_network", {"size": 4}),
+], ids=lambda value: value if isinstance(value, str) else "")
+def test_every_kernel_roundtrips(kernel, params):
+    assert_roundtrip(build_kernel(kernel, **params).module, kernel)
+
+
+def test_composed_design_roundtrips():
+    from repro.graph import build_scenario
+    module = build_scenario("histogram_cdf", pixels=16, bins=8).build().module
+    assert_roundtrip(module, "histogram_cdf composition")

@@ -1,0 +1,262 @@
+"""Unit tests for the dataflow-composition subsystem itself: graph
+construction rules, static timing, the Flow ``compose`` stage and the
+``python -m repro compose`` CLI."""
+
+import pytest
+
+from repro.flow import Flow, FlowConfig
+from repro.graph import (
+    DesignGraph,
+    GraphError,
+    analyze_function,
+    build_scenario,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+from repro.graph.scenarios import UnknownScenarioError
+from repro.hir.ops import ConstantOp, FuncOp
+from repro.kernels import build_kernel
+
+
+def two_node_graph():
+    graph = DesignGraph("pair")
+    histogram = graph.add_kernel("histogram", pixels=16, bins=8)
+    scan = graph.add_kernel("prefix_sum", size=8)
+    graph.connect(histogram, "hist", scan, "xs")
+    return graph
+
+
+class TestConstruction:
+    def test_duplicate_names_are_uniquified(self):
+        graph = DesignGraph("dup")
+        first = graph.add_kernel("prefix_sum", size=8)
+        second = graph.add_kernel("prefix_sum", size=8)
+        assert first.name == "prefix_sum"
+        assert second.name == "prefix_sum2"
+        assert set(graph.nodes) == {"prefix_sum", "prefix_sum2"}
+
+    def test_unknown_node_port_rejected(self):
+        graph = two_node_graph()
+        with pytest.raises(GraphError, match="no interface"):
+            graph.connect("histogram", "nope", "prefix_sum", "xs")
+
+    def test_direction_mismatch_rejected(self):
+        graph = DesignGraph("dir")
+        a = graph.add_kernel("prefix_sum", size=8)
+        b = graph.add_kernel("prefix_sum", size=8)
+        with pytest.raises(GraphError, match="not an output"):
+            graph.connect(a, "xs", b, "xs")
+        with pytest.raises(GraphError, match="not an input"):
+            graph.connect(a, "sums", b, "sums")
+
+    def test_element_count_mismatch_rejected(self):
+        graph = DesignGraph("shape")
+        a = graph.add_kernel("prefix_sum", size=8)
+        b = graph.add_kernel("prefix_sum", size=16)
+        with pytest.raises(GraphError, match="different element counts"):
+            graph.connect(a, "sums", b, "xs")
+
+    def test_reshape_compatible_edge_allowed(self):
+        graph = DesignGraph("reshape")
+        transpose = graph.add_kernel("transpose", size=4)
+        stencil = graph.add_kernel("stencil_1d", size=16)
+        graph.connect(transpose, "Co", stencil, "Ai")  # (4,4) -> (16,)
+        assert len(graph.edges) == 1
+
+    def test_fan_out_rejected_with_guidance(self):
+        graph = DesignGraph("fanout")
+        a = graph.add_kernel("prefix_sum", size=8)
+        b = graph.add_kernel("prefix_sum", size=8)
+        c = graph.add_kernel("prefix_sum", size=8)
+        graph.connect(a, "sums", b, "xs")
+        with pytest.raises(GraphError, match="exactly one consumer"):
+            graph.connect(a, "sums", c, "xs")
+
+    def test_double_feed_rejected(self):
+        graph = DesignGraph("feed")
+        a = graph.add_kernel("prefix_sum", size=8)
+        b = graph.add_kernel("prefix_sum", size=8)
+        c = graph.add_kernel("prefix_sum", size=8)
+        graph.connect(a, "sums", c, "xs")
+        with pytest.raises(GraphError, match="already fed"):
+            graph.connect(b, "sums", c, "xs")
+
+    def test_unbound_scalar_argument_rejected(self):
+        graph = DesignGraph("scalars")
+        artifacts = build_kernel("stencil_1d", size=16)
+        artifacts.scalar_args.clear()
+        with pytest.raises(GraphError, match="scalar argument"):
+            graph.add_node(artifacts)
+
+    def test_scalar_bindings_default_to_artifacts(self):
+        graph = DesignGraph("scalars_ok")
+        node = graph.add_kernel("stencil_1d", size=16)
+        assert node.scalars == {"w0": 3, "w1": 5}
+
+    def test_cyclic_graph_rejected(self):
+        graph = DesignGraph("loop")
+        graph.add_kernel("histogram", pixels=8, bins=8)
+        scan = graph.add_kernel("prefix_sum", size=8)
+        graph.connect("histogram", "hist", scan, "xs")
+        graph.connect(scan, "sums", "histogram", "img")
+        with pytest.raises(GraphError, match="cycle"):
+            graph.build()
+
+
+class TestNaming:
+    def test_exposed_interfaces_prefixed_by_node(self):
+        artifacts = two_node_graph().build()
+        assert set(artifacts.interfaces) == {"histogram_img",
+                                             "prefix_sum_sums"}
+
+    def test_expose_renames(self):
+        graph = two_node_graph()
+        graph.expose("histogram", "img", "image")
+        graph.expose("prefix_sum", "sums", "cdf")
+        assert set(graph.build().interfaces) == {"image", "cdf"}
+
+    def test_expose_name_collision_rejected(self):
+        graph = two_node_graph()
+        graph.expose("histogram", "img", "x")
+        with pytest.raises(GraphError, match="already taken"):
+            graph.expose("prefix_sum", "sums", "x")
+
+
+class TestSchedule:
+    def test_consumer_starts_after_producer_quiet(self):
+        graph = two_node_graph()
+        schedule = graph.schedule()
+        producer = schedule["histogram"]
+        consumer = schedule["prefix_sum"]
+        assert consumer.start > producer.start + producer.timing.last_activity
+        assert consumer.start > producer.start + producer.timing.done
+
+    def test_static_done_matches_simulation(self):
+        """The timing analysis predicts the simulated done cycle exactly."""
+        for kernel, params in (("transpose", {"size": 4}),
+                               ("histogram", {"pixels": 16, "bins": 8}),
+                               ("matvec", {"size": 4}),
+                               ("prefix_sum", {"size": 8}),
+                               ("gemm", {"size": 2})):
+            artifacts = build_kernel(kernel, **params)
+            func = artifacts.module.lookup(artifacts.top)
+            timing = analyze_function(artifacts.module, func)
+            run, _ = artifacts.simulate(seed=0)
+            # run.cycles is 1-based (done seen during cycle index done).
+            assert run.cycles == timing.done + 1, (kernel, run.cycles,
+                                                  timing.done)
+
+    def test_independent_branches_overlap(self):
+        graph = DesignGraph("parallel")
+        graph.add_kernel("prefix_sum", size=8, name="left")
+        graph.add_kernel("prefix_sum", size=8, name="right")
+        schedule = graph.schedule()
+        assert schedule["left"].start == 0
+        assert schedule["right"].start == 0
+
+    def test_describe_schedule_renders(self):
+        artifacts = two_node_graph().build()
+        text = artifacts.describe_schedule()
+        assert "histogram" in text and "prefix_sum" in text
+
+
+class TestFlowComposeStage:
+    def test_compose_cached_until_node_mutates(self):
+        flow = Flow.from_graph(two_node_graph(),
+                               config=FlowConfig(pipeline="none"))
+        cold = flow.verilog()
+        assert flow.compose().cached
+        warm = flow.verilog()
+        assert warm.cached
+        constant = next(op for op in
+                        flow.graph.nodes["prefix_sum"].artifacts.module.walk()
+                        if isinstance(op, ConstantOp) and op.value > 1)
+        original = constant.value
+        constant.set_attr("value", original - 1)
+        try:
+            rebuilt = flow.verilog()
+            assert not rebuilt.cached
+            assert rebuilt.fingerprint != cold.fingerprint
+        finally:
+            constant.set_attr("value", original)
+        restored = flow.verilog()
+        assert restored.value.text == cold.value.text
+
+    def test_direct_compose_call_does_not_starve_adoption(self):
+        """hir() must adopt a recomposed module even when an intervening
+        direct compose() call already served the rebuilt artifact."""
+        graph = two_node_graph()
+        flow = Flow.from_graph(graph, config=FlowConfig(pipeline="none"))
+        flow.validate(seed=1)
+        third = graph.add_kernel("prefix_sum", size=8)
+        graph.connect("prefix_sum", "sums", third, "xs")
+        composed = flow.compose().value          # rebuilds, 3 nodes
+        assert len(composed.schedule) == 3
+        outcome = flow.validate(seed=1).value    # must NOT run the old module
+        assert outcome.ok
+        assert sorted(flow.interfaces) == sorted(composed.interfaces)
+        functions = [op.symbol_name for op in flow.module.walk()
+                     if isinstance(op, FuncOp)]
+        assert third.name in functions
+
+    def test_graph_fingerprint_tracks_structure(self):
+        first = two_node_graph()
+        second = two_node_graph()
+        assert first.fingerprint() == second.fingerprint()
+        second.expose("histogram", "img", "image")
+        assert first.fingerprint() != second.fingerprint()
+
+    def test_compose_on_plain_flow_rejected(self):
+        from repro.flow import FlowError
+        flow = Flow.from_kernel("transpose", size=4)
+        with pytest.raises(FlowError, match="DesignGraph"):
+            flow.compose()
+
+    def test_composed_module_is_multi_module_verilog(self):
+        flow = Flow.from_graph(two_node_graph(),
+                               config=FlowConfig(pipeline="none"))
+        design = flow.design
+        assert set(design.modules) == {"histogram", "prefix_sum", "pair_top"}
+        assert design.top == "pair_top"
+        functions = [op for op in flow.module.walk() if isinstance(op, FuncOp)]
+        assert len(functions) == 3
+
+
+class TestScenarioRegistry:
+    def test_builtin_scenarios_listed(self):
+        assert {"gemm_pipeline", "histogram_cdf",
+                "sorted_scan"} <= set(scenario_names())
+
+    def test_unknown_scenario_error_names_registry(self):
+        with pytest.raises(UnknownScenarioError, match="gemm_pipeline"):
+            build_scenario("nope")
+
+    def test_register_unregister_roundtrip(self):
+        register_scenario("tmp_pair", lambda: two_node_graph())
+        try:
+            assert build_scenario("tmp_pair").name == "pair"
+            with pytest.raises(ValueError, match="already registered"):
+                register_scenario("tmp_pair", lambda: two_node_graph())
+        finally:
+            unregister_scenario("tmp_pair")
+        assert "tmp_pair" not in scenario_names()
+
+
+class TestComposeCLI:
+    def test_compose_list(self, capsys):
+        from repro.__main__ import main
+        assert main(["compose", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm_pipeline" in out and "histogram_cdf" in out
+
+    def test_compose_validates_a_scenario(self, capsys):
+        from repro.__main__ import main
+        assert main(["compose", "histogram_cdf", "-p", "pixels=16",
+                     "-p", "bins=8", "--pipeline", "none"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_compose_unknown_scenario_exits_2(self, capsys):
+        from repro.__main__ import main
+        assert main(["compose", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err

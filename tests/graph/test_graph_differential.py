@@ -1,0 +1,111 @@
+"""Acceptance bar of the composition PR: every new kernel and every composed
+example graph produces lockstep-identical traces across the interpreted,
+compiled and batched engines — and matches its (chained) numpy reference.
+
+The ``differential`` engine runs the interpreted and compiled simulators in
+lockstep, raising on the first per-signal divergence; the batched engine is
+checked lane for lane against independent single-lane runs.  Small problem
+sizes run in tier 1; a broader size/seed matrix is in the ``slow`` tier.
+"""
+
+import numpy as np
+import pytest
+
+from repro.flow import Flow, FlowConfig, outputs_match
+
+#: (kernel, params) — every workload added by this PR, at tier-1 sizes.
+NEW_KERNELS = [
+    ("matvec", {"size": 4}),
+    ("prefix_sum", {"size": 8}),
+    ("spmv", {"rows": 4, "nnz": 2}),
+    ("sorting_network", {"size": 4}),
+]
+
+#: (scenario, params) — the composed example graphs, at tier-1 sizes.
+SCENARIOS = [
+    ("gemm_pipeline", {"size": 3}),
+    ("histogram_cdf", {"pixels": 32, "bins": 8}),
+    ("sorted_scan", {"size": 4}),
+]
+
+
+def assert_lockstep(flow, seeds):
+    """Differential single runs + batched lanes vs the numpy reference."""
+    # Interpreted vs compiled in lockstep (DivergenceError on mismatch).
+    for seed in seeds:
+        outcome = flow.validate(seed=seed, engine="differential").value
+        assert outcome.ok, (flow.name, seed, "reference mismatch")
+    # Batched engine, lane for lane against the reference and the
+    # single-run cycle counts.
+    batch = flow.simulate_batch(seeds).value
+    for lane, inputs in enumerate(batch.inputs_per_lane):
+        assert bool(batch.run.done[lane]), (flow.name, lane, "never finished")
+        assert outputs_match(flow.reference(inputs),
+                             lambda name: batch.memory_array(name, lane),
+                             flow.output_warmup), (flow.name, lane)
+    single = flow.simulate(seed=seeds[0], engine="interpreted").value
+    assert int(batch.run.cycles[0]) == single.run.cycles
+
+
+@pytest.mark.tier1
+@pytest.mark.parametrize("kernel,params", NEW_KERNELS,
+                         ids=[k for k, _ in NEW_KERNELS])
+def test_new_kernel_lockstep(kernel, params):
+    flow = Flow.from_kernel(kernel, config=FlowConfig(pipeline="none"),
+                            **params)
+    assert_lockstep(flow, [0, 1, 2])
+
+
+@pytest.mark.tier1
+@pytest.mark.parametrize("scenario,params", SCENARIOS,
+                         ids=[s for s, _ in SCENARIOS])
+def test_composed_graph_lockstep(scenario, params):
+    flow = Flow.from_scenario(scenario, config=FlowConfig(pipeline="none"),
+                              **params)
+    assert_lockstep(flow, [0, 1, 2])
+
+
+@pytest.mark.parametrize("scenario,params", SCENARIOS,
+                         ids=[s for s, _ in SCENARIOS])
+def test_composed_graph_optimized_pipeline(scenario, params):
+    """The full auto-optimization pipeline preserves composed behaviour."""
+    flow = Flow.from_scenario(scenario, config=FlowConfig(pipeline="optimize",
+                                                          verify_each=False),
+                              **params)
+    outcome = flow.validate(seed=1, engine="differential").value
+    assert outcome.ok
+
+
+def test_composed_outputs_match_chained_kernels():
+    """A composed graph equals running its kernels one by one on the host."""
+    flow = Flow.from_scenario("histogram_cdf", pixels=32, bins=8,
+                              config=FlowConfig(pipeline="none"))
+    outcome = flow.simulate(seed=5).value
+    image = np.asarray(outcome.inputs["img"])
+    hist = np.bincount(image, minlength=8)[:8]
+    assert np.array_equal(outcome.memory_array("cdf"), np.cumsum(hist))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("kernel,params", [
+    ("matvec", {"size": 8}),
+    ("prefix_sum", {"size": 32}),
+    ("spmv", {"rows": 8, "nnz": 4}),
+    ("sorting_network", {"size": 8}),
+], ids=["matvec", "prefix_sum", "spmv", "sorting_network"])
+def test_new_kernel_lockstep_larger(kernel, params):
+    flow = Flow.from_kernel(kernel, config=FlowConfig(pipeline="none"),
+                            **params)
+    assert_lockstep(flow, list(range(6)))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scenario,params", [
+    ("gemm_pipeline", {"size": 4}),
+    ("histogram_cdf", {"pixels": 64, "bins": 16}),
+    ("sorted_scan", {"size": 8}),
+], ids=["gemm_pipeline", "histogram_cdf", "sorted_scan"])
+def test_composed_graph_lockstep_larger(scenario, params):
+    flow = Flow.from_scenario(scenario, config=FlowConfig(pipeline="none"),
+                              **params)
+    assert_lockstep(flow, list(range(4)))

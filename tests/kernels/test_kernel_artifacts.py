@@ -15,13 +15,24 @@ SMALL = {
     "gemm": {"size": 2},
     "convolution": {"size": 6},
     "fifo": {"depth": 16},
+    "matvec": {"size": 4},
+    "prefix_sum": {"size": 8},
+    "spmv": {"rows": 4, "nnz": 2},
+    "sorting_network": {"size": 4},
 }
 
 
 class TestRegistry:
     def test_all_six_paper_kernels_present(self):
-        assert set(kernel_names()) == {"transpose", "stencil_1d", "histogram",
-                                       "gemm", "convolution", "fifo"}
+        assert {"transpose", "stencil_1d", "histogram",
+                "gemm", "convolution", "fifo"} <= set(kernel_names())
+
+    def test_new_workloads_registered(self):
+        assert {"matvec", "prefix_sum", "spmv",
+                "sorting_network"} <= set(kernel_names())
+
+    def test_registry_matches_this_suite(self):
+        assert set(kernel_names()) == set(SMALL)
 
     def test_build_kernel_dispatch(self):
         artifacts = build_kernel("transpose", size=4)

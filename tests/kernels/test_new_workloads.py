@@ -1,0 +1,118 @@
+"""The new-workload suite: matvec, prefix_sum, spmv and sorting_network.
+
+Each workload is validated against targeted numpy properties (not just the
+generic registry sweep), batch-simulated, and — where it ships an HLS
+baseline program — compiled through the baseline compiler's DSE so the
+Table-6-style comparisons can include it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.flow import Flow, FlowConfig, outputs_match
+from repro.kernels import build_kernel
+
+CONFIG = FlowConfig(pipeline="none")
+
+
+class TestMatvec:
+    def test_matches_numpy_matmul(self):
+        flow = Flow.from_kernel("matvec", size=5, config=CONFIG)
+        outcome = flow.simulate(seed=4).value
+        expected = (np.asarray(outcome.inputs["A"], dtype=np.int64)
+                    @ np.asarray(outcome.inputs["x"], dtype=np.int64))
+        assert np.array_equal(outcome.memory_array("y"), expected)
+
+    def test_identity_matrix_passes_vector_through(self):
+        flow = Flow.from_kernel("matvec", size=4, config=CONFIG)
+        vector = np.array([7, -3, 11, 0])
+        outcome = flow.simulate(inputs={"A": np.eye(4, dtype=np.int64),
+                                        "x": vector}).value
+        assert np.array_equal(outcome.memory_array("y"), vector)
+
+
+class TestPrefixSum:
+    def test_cumsum_with_negatives(self):
+        flow = Flow.from_kernel("prefix_sum", size=8, config=CONFIG)
+        data = np.array([5, -5, 3, -3, 10, -20, 1, 1])
+        outcome = flow.simulate(inputs={"xs": data}).value
+        assert np.array_equal(outcome.memory_array("sums"), np.cumsum(data))
+
+    def test_first_element_not_polluted_by_stale_state(self):
+        """Back-to-back lanes must not leak the running total between runs
+        (the i==0 select, not the register reset, seeds the scan)."""
+        flow = Flow.from_kernel("prefix_sum", size=8, config=CONFIG)
+        batch = flow.simulate_batch(range(4)).value
+        for lane, inputs in enumerate(batch.inputs_per_lane):
+            produced = batch.memory_array("sums", lane)
+            assert produced[0] == np.asarray(inputs["xs"])[0]
+
+
+class TestSpmv:
+    def test_matches_ell_reference(self):
+        flow = Flow.from_kernel("spmv", rows=6, nnz=3, config=CONFIG)
+        outcome = flow.simulate(seed=9).value
+        values = np.asarray(outcome.inputs["vals"], dtype=np.int64)
+        columns = np.asarray(outcome.inputs["cols"], dtype=np.int64)
+        x = np.asarray(outcome.inputs["x"], dtype=np.int64)
+        expected = (values * x[columns]).sum(axis=1)
+        assert np.array_equal(outcome.memory_array("y"), expected)
+
+    def test_zero_padding_contributes_nothing(self):
+        flow = Flow.from_kernel("spmv", rows=4, nnz=2, config=CONFIG)
+        inputs = {
+            "vals": np.array([[3, 0], [0, 0], [1, 2], [0, 5]]),
+            "cols": np.array([[1, 3], [0, 0], [2, 2], [3, 0]]),
+            "x": np.array([10, 20, 30, 40]),
+        }
+        outcome = flow.simulate(inputs=inputs).value
+        assert np.array_equal(outcome.memory_array("y"),
+                              np.array([60, 0, 90, 50]))
+
+
+class TestSortingNetwork:
+    def test_sorts_with_duplicates_and_negatives(self):
+        flow = Flow.from_kernel("sorting_network", size=8, config=CONFIG)
+        data = np.array([4, -4, 4, 0, -1, -1, 1000, -1000])
+        outcome = flow.simulate(inputs={"xs": data}).value
+        assert np.array_equal(outcome.memory_array("sorted"), np.sort(data))
+
+    def test_latency_is_data_independent(self):
+        flow = Flow.from_kernel("sorting_network", size=8, config=CONFIG)
+        sorted_run = flow.simulate(inputs={"xs": np.arange(8)}).value
+        reversed_run = flow.simulate(inputs={"xs": np.arange(8)[::-1]}).value
+        assert sorted_run.run.cycles == reversed_run.run.cycles
+
+
+@pytest.mark.parametrize("kernel,params", [
+    ("matvec", {"size": 4}),
+    ("prefix_sum", {"size": 8}),
+    ("spmv", {"rows": 4, "nnz": 2}),
+    ("sorting_network", {"size": 4}),
+], ids=["matvec", "prefix_sum", "spmv", "sorting_network"])
+def test_batch_sweep_all_lanes_match(kernel, params):
+    flow = Flow.from_kernel(kernel, config=CONFIG, **params)
+    batch = flow.simulate_batch(range(5)).value
+    for lane, inputs in enumerate(batch.inputs_per_lane):
+        assert bool(batch.run.done[lane])
+        assert outputs_match(flow.reference(inputs),
+                             lambda name: batch.memory_array(name, lane),
+                             flow.output_warmup)
+
+
+@pytest.mark.parametrize("kernel,params", [
+    ("matvec", {"size": 4}),
+    ("prefix_sum", {"size": 8}),
+    ("spmv", {"rows": 4, "nnz": 2}),
+], ids=["matvec", "prefix_sum", "spmv"])
+def test_hls_baseline_compiles_through_dse(kernel, params):
+    from repro.hls import compile_program
+
+    artifacts = build_kernel(kernel, **params)
+    result = compile_program(artifacts.hls_program, artifacts.hls_function)
+    assert result.report.dse_evaluations > 0
+    assert result.design.modules
+
+
+def test_sorting_network_has_no_hls_program():
+    assert build_kernel("sorting_network", size=4).hls_program is None

@@ -1,0 +1,272 @@
+"""Direct coverage of memory lowering and testbench memory edge cases.
+
+``verilog/memory.py`` and ``sim/testbench.py`` were previously only
+exercised through whole kernels; these tests pin down their contracts in
+isolation: port-conflict detection, read/write offset semantics on the
+interface protocol, delegation rules for memrefs passed to ``hir.call``,
+and multi-port behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir.errors import LoweringError, SimulationError
+from repro.ir.types import I32
+from repro.hir.build import DesignBuilder
+from repro.hir.types import MemrefType
+from repro.passes.schedule_verifier import PORT_CONFLICT, verify_schedule
+from repro.sim.testbench import (
+    InterfaceMemory,
+    flatten_tensor,
+    run_design_impl,
+    unflatten_tensor,
+)
+from repro.verilog.codegen import generate_verilog_impl
+from repro.verilog.memory import interface_directions, interface_signals
+
+
+# --------------------------------------------------------------------------- #
+# interface_signals / interface_directions
+# --------------------------------------------------------------------------- #
+
+
+class TestInterfaceBuses:
+    def test_read_port_buses(self):
+        memref = MemrefType((8,), I32, "r")
+        signals = interface_signals("a", memref)
+        assert signals == {"a_addr": 3, "a_rd_en": 1, "a_rd_data": 32}
+        directions = interface_directions("a", memref)
+        assert directions["a_addr"] == "output"
+        assert directions["a_rd_data"] == "input"
+
+    def test_write_port_buses(self):
+        signals = interface_signals("b", MemrefType((8,), I32, "w"))
+        assert set(signals) == {"b_addr", "b_wr_en", "b_wr_data"}
+
+    def test_rw_port_has_all_five_buses(self):
+        signals = interface_signals("c", MemrefType((4, 4), I32, "rw"))
+        assert set(signals) == {"c_addr", "c_rd_en", "c_rd_data",
+                                "c_wr_en", "c_wr_data"}
+        assert signals["c_addr"] == 4  # 16 elements -> 4 address bits
+
+    def test_single_element_memref_gets_one_address_bit(self):
+        assert interface_signals("d", MemrefType((1,), I32, "r"))["d_addr"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# InterfaceMemory protocol (sim/testbench.py)
+# --------------------------------------------------------------------------- #
+
+
+class FakeSim:
+    """Just enough of the Simulator surface for InterfaceMemory."""
+
+    def __init__(self, signals=None):
+        self.signals = dict(signals or {})
+
+    def get(self, name):
+        if name not in self.signals:
+            raise SimulationError(f"unknown signal '{name}'")
+        return self.signals[name]
+
+    def set(self, name, value):
+        self.signals[name] = value
+
+
+class TestInterfaceMemory:
+    def test_read_latency_is_one_cycle(self):
+        memory = InterfaceMemory("m", MemrefType((4,), I32, "r"),
+                                 [10, 11, 12, 13])
+        sim = FakeSim({"m_addr": 2, "m_rd_en": 1})
+        memory.sample(sim)
+        assert "m_rd_data" not in sim.signals  # nothing before the edge
+        memory.commit(sim)
+        assert sim.signals["m_rd_data"] == 12
+
+    def test_read_before_write_on_same_cycle_and_address(self):
+        """An rw interface returns the OLD value when a read and a write hit
+        the same address in the same cycle (read-before-write)."""
+        memory = InterfaceMemory("m", MemrefType((4,), I32, "rw"),
+                                 [5, 6, 7, 8])
+        sim = FakeSim({"m_addr": 1, "m_rd_en": 1, "m_wr_en": 1,
+                       "m_wr_data": 99})
+        memory.sample(sim)
+        memory.commit(sim)
+        assert sim.signals["m_rd_data"] == 6      # pre-write value
+        assert memory.data[1] == 99               # write landed after
+
+    def test_out_of_bounds_read_returns_zero_and_write_is_dropped(self):
+        memory = InterfaceMemory("m", MemrefType((2,), I32, "rw"), [1, 2])
+        sim = FakeSim({"m_addr": 7, "m_rd_en": 1, "m_wr_en": 1,
+                       "m_wr_data": 42})
+        memory.sample(sim)
+        memory.commit(sim)
+        assert sim.signals["m_rd_data"] == 0
+        assert memory.data == [1, 2]
+
+    def test_write_only_interface_ignores_read_enables(self):
+        memory = InterfaceMemory("m", MemrefType((2,), I32, "w"))
+        sim = FakeSim({"m_addr": 0, "m_rd_en": 1, "m_wr_en": 1,
+                       "m_wr_data": 3})
+        memory.sample(sim)
+        memory.commit(sim)
+        assert memory.reads == 0 and memory.writes == 1
+        assert "m_rd_data" not in sim.signals
+
+    def test_missing_enable_signals_default_to_idle(self):
+        memory = InterfaceMemory("m", MemrefType((2,), I32, "rw"))
+        memory.sample(FakeSim({}))  # no buses driven at all
+        memory.commit(FakeSim({}))
+        assert memory.reads == 0 and memory.writes == 0
+
+    def test_values_masked_to_element_width(self):
+        from repro.ir.types import IntegerType
+        memory = InterfaceMemory("m", MemrefType((2,), IntegerType(8), "rw"))
+        sim = FakeSim({"m_addr": 0, "m_rd_en": 0, "m_wr_en": 1,
+                       "m_wr_data": 0x1FF})
+        memory.sample(sim)
+        memory.commit(sim)
+        assert memory.data[0] == 0xFF
+
+    def test_flatten_rejects_shape_mismatch(self):
+        with pytest.raises(SimulationError, match="does not match"):
+            flatten_tensor(MemrefType((2, 2), I32, "r"), np.zeros((3,)))
+
+    def test_unflatten_sign_extends(self):
+        memref = MemrefType((2,), I32, "r")
+        array = unflatten_tensor(memref, [(1 << 32) - 5, 7])
+        assert list(array) == [-5, 7]
+
+
+# --------------------------------------------------------------------------- #
+# Port conflicts and delegation rules
+# --------------------------------------------------------------------------- #
+
+
+def single_func_design(body):
+    """A one-function module: body(f, in_port, out_port)."""
+    design = DesignBuilder("memtest")
+    in_type = MemrefType((8,), I32, port="r")
+    out_type = MemrefType((8,), I32, port="w")
+    with design.func("top", [("a", in_type), ("o", out_type)]) as f:
+        body(f)
+        f.return_()
+    return design
+
+
+class TestPortConflicts:
+    def test_same_cycle_same_bank_different_address_is_flagged(self):
+        def body(f):
+            buf_r, buf_w = f.alloc((8,), I32, ports=("r", "w"),
+                                   mem_kind="bram", name="buf")
+            value = f.mem_read(f.arg("a"), [0], time=f.time)
+            f.mem_write(value, buf_w, [0], time=f.time, offset=1)
+            f.mem_write(value, buf_w, [1], time=f.time, offset=1)
+
+        report = verify_schedule(single_func_design(body).module)
+        assert not report.ok
+        assert report.of_kind(PORT_CONFLICT)
+
+    def test_same_cycle_different_banks_is_legal(self):
+        def body(f):
+            buf_r, buf_w = f.alloc((8,), I32, ports=("r", "w"), packing=[],
+                                   name="regs")
+            value = f.mem_read(f.arg("a"), [0], time=f.time)
+            f.mem_write(value, buf_w, [0], time=f.time, offset=1)
+            f.mem_write(value, buf_w, [1], time=f.time, offset=1)
+            out = f.mem_read(buf_r, [0], time=f.time, offset=2)
+            f.mem_write(out, f.arg("o"), [0], time=f.time, offset=2)
+
+        module = single_func_design(body).module
+        assert verify_schedule(module).ok
+        generate_verilog_impl(module)  # lowers without LoweringError
+
+    def test_distributed_dim_with_variable_index_rejected_at_lowering(self):
+        def body(f):
+            buf_r, buf_w = f.alloc((8,), I32, ports=("r", "w"), packing=[],
+                                   name="regs")
+            with f.for_loop(0, 8, 1, time=f.time, iter_offset=1,
+                            iv_name="i") as loop:
+                value = f.mem_read(f.arg("a"), [loop.iv], time=loop.time)
+                iv1 = f.delay(loop.iv, 1, time=loop.time)
+                f.mem_write(value, buf_w, [iv1], time=loop.time, offset=1)
+                f.yield_(loop.time, offset=1)
+
+        with pytest.raises(LoweringError, match="constant"):
+            generate_verilog_impl(single_func_design(body).module)
+
+
+def callee_module(design, name="stage"):
+    in_type = MemrefType((8,), I32, port="r")
+    out_type = MemrefType((8,), I32, port="w")
+    with design.func(name, [("src", in_type), ("dst", out_type)]) as f:
+        with f.for_loop(0, 8, 1, time=f.time, iter_offset=1,
+                        iv_name="i") as loop:
+            value = f.mem_read(f.arg("src"), [loop.iv], time=loop.time)
+            iv1 = f.delay(loop.iv, 1, time=loop.time)
+            f.mem_write(value, f.arg("dst"), [iv1], time=loop.time, offset=1)
+            f.yield_(loop.time, offset=1)
+        f.return_()
+
+
+class TestDelegation:
+    def test_memref_port_passed_to_two_calls_rejected(self):
+        design = DesignBuilder("double")
+        callee_module(design)
+        in_type = MemrefType((8,), I32, port="r")
+        out_type = MemrefType((8,), I32, port="w")
+        with design.func("top", [("a", in_type), ("o", out_type),
+                                 ("o2", out_type)]) as f:
+            f.call("stage", [f.arg("a"), f.arg("o")], time=f.time)
+            f.call("stage", [f.arg("a"), f.arg("o2")], time=f.time,
+                   offset=32)
+            f.return_()
+        with pytest.raises(LoweringError, match="at most one"):
+            generate_verilog_impl(design.module, top="top")
+
+    def test_direct_access_plus_delegation_rejected(self):
+        design = DesignBuilder("mixed")
+        callee_module(design)
+        in_type = MemrefType((8,), I32, port="r")
+        out_type = MemrefType((8,), I32, port="w")
+        with design.func("top", [("a", in_type), ("o", out_type)]) as f:
+            f.mem_read(f.arg("a"), [0], time=f.time)
+            f.call("stage", [f.arg("a"), f.arg("o")], time=f.time, offset=2)
+            f.return_()
+        with pytest.raises(LoweringError, match="separate ports"):
+            generate_verilog_impl(design.module, top="top")
+
+    def test_banked_alloc_passed_to_call_rejected(self):
+        design = DesignBuilder("banked")
+        callee_module(design)
+        out_type = MemrefType((8,), I32, port="w")
+        with design.func("top", [("o", out_type)]) as f:
+            # packing=[] distributes all 8 elements over 8 register banks.
+            buf_r, buf_w = f.alloc((8,), I32, ports=("r", "w"), packing=[],
+                                   name="buf")
+            f.call("stage", [buf_r, f.arg("o")], time=f.time)
+            f.return_()
+        with pytest.raises(LoweringError):
+            generate_verilog_impl(design.module, top="top")
+
+    def test_two_port_alloc_delegated_to_two_calls_simulates(self):
+        """The stream-buffer pattern: one alloc, write port to the producer
+        call, read port to the consumer call — simulated end to end."""
+        design = DesignBuilder("pipe")
+        callee_module(design)
+        in_type = MemrefType((8,), I32, port="r")
+        out_type = MemrefType((8,), I32, port="w")
+        with design.func("top", [("a", in_type), ("o", out_type)]) as f:
+            buf_w, buf_r = f.alloc((8,), I32, ports=("w", "r"),
+                                   mem_kind="bram", name="edge")
+            f.call("stage", [f.arg("a"), buf_w], time=f.time)
+            f.call("stage", [buf_r, f.arg("o")], time=f.time, offset=16)
+            f.return_()
+        result = generate_verilog_impl(design.module, top="top")
+        data = np.arange(8)
+        run = run_design_impl(
+            result.design,
+            memories={"a": (in_type, data), "o": (out_type, np.zeros(8))},
+            max_cycles=500, engine="differential")
+        assert run.done
+        assert np.array_equal(run.memory_array("o"), data)
