@@ -134,7 +134,7 @@ def run_benchmark(params, min_speedup=MIN_SPEEDUP, verbose=True,
         from conftest import write_bench_json
         write_bench_json(json_path, [{
             "name": "compile-sweep",
-            "kernels": sorted(params),
+            "kernels": ",".join(sorted(params)),
             "seed_seconds": seed_seconds,
             "fast_seconds": fast_seconds,
             "parallel_seconds": par_seconds,

@@ -8,9 +8,7 @@ a single round so the whole harness stays in the minutes range.
 
 import json
 import os
-import platform
 import sys
-import time
 
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 if _SRC not in sys.path:
@@ -30,23 +28,31 @@ def record_benchmark(name, **metrics):
 
 
 def write_bench_json(path, records):
-    payload = {
-        "schema": 1,
-        "unix_time": time.time(),
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "records": sorted(records, key=lambda record: record["name"]),
-    }
+    """Emit records in the versioned envelope of :mod:`repro.obs.metrics`
+    (CI validates every emitted file against that schema)."""
+    from repro.obs.metrics import bench_payload
     with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+        json.dump(bench_payload(records), handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
+
+
+def pytest_sessionstart(session):
+    # $REPRO_BENCH_TRACE: record the whole benchmark run (Flow stages,
+    # passes, DSE, engine runs) as one Chrome trace for per-commit upload.
+    if os.environ.get("REPRO_BENCH_TRACE"):
+        from repro.obs.tracer import TRACER
+        TRACER.enable()
 
 
 def pytest_sessionfinish(session, exitstatus):
     path = os.environ.get("REPRO_BENCH_JSON")
     if path and BENCH_RECORDS:
         write_bench_json(path, BENCH_RECORDS)
+    trace_path = os.environ.get("REPRO_BENCH_TRACE")
+    if trace_path:
+        from repro.obs.export import write_chrome_trace
+        write_chrome_trace(trace_path)
 
 
 @pytest.fixture(scope="session")

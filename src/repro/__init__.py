@@ -17,6 +17,9 @@ Top-level layout:
                             lowered to one statically scheduled design.
 * :mod:`repro.fuzz`       — differential fuzzing of all of the above: random
                             programs cross-checked over pipelines/engines/cache.
+* :mod:`repro.obs`        — observability: tracing spans/counters, Chrome-trace
+                            and JSONL exporters, cache-stats registry, the
+                            engine-identical simulation profiler, bench schema.
 * :mod:`repro.evaluation` — harness regenerating every table and figure.
 
 The package namespace re-exports the session API lazily, so ``import repro``
@@ -47,6 +50,16 @@ _LAZY_EXPORTS = {
     "register_scenario": ("repro.graph", "register_scenario"),
     "run_fuzz": ("repro.fuzz", "run_fuzz"),
     "scenario_names": ("repro.graph", "scenario_names"),
+    # Observability (repro.obs)
+    "Tracer": ("repro.obs", "Tracer"),
+    "get_tracer": ("repro.obs", "get_tracer"),
+    "enable_tracing": ("repro.obs", "enable_tracing"),
+    "disable_tracing": ("repro.obs", "disable_tracing"),
+    "tracing": ("repro.obs", "tracing"),
+    "write_chrome_trace": ("repro.obs", "write_chrome_trace"),
+    "SimProfile": ("repro.obs", "SimProfile"),
+    "all_cache_stats": ("repro.obs", "all_cache_stats"),
+    "render_cache_report": ("repro.obs", "render_cache_report"),
 }
 
 __all__ = ["__version__", *sorted(_LAZY_EXPORTS)]

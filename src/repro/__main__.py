@@ -11,6 +11,13 @@ Subcommands mirror the :class:`repro.flow.Flow` stages:
   simulate a registered :class:`repro.graph.DesignGraph` end to end.
 * ``fuzz``      — differential fuzzing: random HIR programs cross-checked
   over pipelines, engines, composition and the Flow stage cache.
+* ``stats``     — run a representative workload and report every registered
+  cache (hit rates, capacities) plus the DSE exploration counters.
+
+Observability: ``--trace FILE`` (on build/simulate/sweep/compose/stats)
+writes a Chrome ``trace_event`` JSON of the whole run — load it in
+ui.perfetto.dev or chrome://tracing.  ``--profile`` (simulate/sweep/compose)
+collects and prints the per-op simulation profile.
 
 Kernel size parameters are passed as repeated ``-p key=value`` options::
 
@@ -53,6 +60,10 @@ def _flow_config(arguments):
         overrides["pipeline"] = arguments.pipeline
     if getattr(arguments, "jobs", None) is not None:
         overrides["dse_jobs"] = arguments.jobs
+    if getattr(arguments, "trace", None):
+        overrides["trace"] = True
+    if getattr(arguments, "profile", False):
+        overrides["profile"] = True
     # Environment REPRO_* variables participate via from_env, giving the CLI
     # the same precedence chain as the library: flag > env > default.
     return FlowConfig.from_env(**overrides)
@@ -96,6 +107,11 @@ def _cmd_build(arguments) -> int:
     return 0
 
 
+def _print_profile(profile) -> None:
+    if profile is not None:
+        print(profile.render(), file=sys.stderr)
+
+
 def _cmd_simulate(arguments) -> int:
     flow = _kernel_flow(arguments)
     artifact = flow.validate(seed=arguments.seed)
@@ -103,6 +119,8 @@ def _cmd_simulate(arguments) -> int:
     status = "ok" if outcome.ok else "MISMATCH"
     print(f"{outcome.name}: engine={outcome.engine} seed={arguments.seed} "
           f"cycles={outcome.cycles} {status}")
+    if arguments.profile and outcome.run is not None:
+        _print_profile(outcome.run.profile)
     print(flow.report(), file=sys.stderr)
     return 0 if outcome.ok else 1
 
@@ -131,6 +149,9 @@ def _cmd_sweep(arguments) -> int:
     seeds = list(range(arguments.seeds))
     artifact = flow.simulate_batch(seeds)
     failures = _check_batch_lanes(flow, seeds, artifact.value)
+    if arguments.profile and artifact.value.profiles:
+        print("lane 0 profile:", file=sys.stderr)
+        _print_profile(artifact.value.profiles[0])
     rate = len(seeds) / artifact.seconds if artifact.seconds > 0 else 0.0
     print(f"{len(seeds)} lanes in {artifact.seconds:.2f}s "
           f"({rate:.1f} scenarios/s), {failures} mismatching",
@@ -158,9 +179,14 @@ def _cmd_compose(arguments) -> int:
         seeds = list(range(arguments.seeds))
         outcome = flow.simulate_batch(seeds).value
         failures = _check_batch_lanes(flow, seeds, outcome)
+        if arguments.profile and outcome.profiles:
+            print("lane 0 profile:", file=sys.stderr)
+            _print_profile(outcome.profiles[0])
         print(flow.report(), file=sys.stderr)
         return 0 if failures == 0 else 1
     validated = flow.validate(seed=arguments.seed).value
+    if arguments.profile and validated.run is not None:
+        _print_profile(validated.run.profile)
     status = "ok" if validated.ok else "MISMATCH"
     print(f"{validated.name}: {len(graph.nodes)} nodes, "
           f"{len(graph.edges)} stream edges, engine={validated.engine} "
@@ -205,6 +231,56 @@ def _cmd_fuzz(arguments) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_stats(arguments) -> int:
+    """Exercise every cache with a representative workload, then report.
+
+    The caches (Flow stages, simulator compile cache, DSE schedule memo)
+    are in-process, so ``stats`` runs its own small build → validate →
+    sweep → HLS-compile workload — twice where repetition is what produces
+    hits — and then renders the registry.
+    """
+    from repro.flow import Flow
+    from repro.hls import compile_program
+    from repro.obs.cachestats import ensure_builtin_caches, render_cache_report
+    from repro.obs.export import stats_tree
+    from repro.obs.tracer import TRACER
+
+    ensure_builtin_caches()
+    TRACER.enable()
+    config = _flow_config(arguments).with_(trace=True)
+    flow = Flow.from_kernel(arguments.kernel, config=config,
+                            **_parse_params(arguments.param))
+    with TRACER.span("stats.workload", cat="cli", kernel=arguments.kernel):
+        flow.validate(seed=0)
+        flow.validate(seed=1)            # hits every compile stage
+        flow.simulate_batch(range(arguments.seeds))
+        # Second sweep re-uses the engine's compiled artifacts.
+        flow.simulate_batch(range(arguments.seeds))
+        artifacts = flow.source
+        if getattr(artifacts, "hls_program", None) is not None:
+            options = config.hls_options()
+            with config.limits():
+                # Second compile re-explores the same design points: the
+                # DSE schedule memo serves them.
+                compile_program(artifacts.hls_program, artifacts.hls_function,
+                                options=options)
+                compile_program(artifacts.hls_program, artifacts.hls_function,
+                                options=options)
+    print(f"workload: {arguments.kernel} x (validate x2 + "
+          f"{arguments.seeds}-lane sweep + HLS compile x2)\n")
+    print(render_cache_report())
+    dse_counters = {name: value
+                    for name, value in sorted(TRACER.counters.items())
+                    if name.startswith("dse.")}
+    if dse_counters:
+        print("\nDSE counters:")
+        for name, value in dse_counters.items():
+            print(f"  {name:<24} {int(value)}")
+    if arguments.tree:
+        print(f"\n{stats_tree(TRACER)}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -223,6 +299,14 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--engine", default=None,
                              help="simulation engine (default: process/env)")
 
+    def add_obs_options(sub, profile=True):
+        sub.add_argument("--trace", metavar="FILE", default=None,
+                         help="write a Chrome trace_event JSON of this run "
+                              "(open in ui.perfetto.dev)")
+        if profile:
+            sub.add_argument("--profile", action="store_true",
+                             help="collect and print the simulation profile")
+
     list_parser = subparsers.add_parser(
         "list", help="registered kernels, engines and pipelines")
     list_parser.set_defaults(handler=_cmd_list)
@@ -234,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the Verilog here instead of stdout")
     build.add_argument("--resources", action="store_true",
                        help="append an FPGA resource estimate")
+    add_obs_options(build, profile=False)
     build.set_defaults(handler=_cmd_build)
 
     simulate = subparsers.add_parser(
@@ -241,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_kernel_options(simulate)
     simulate.add_argument("--seed", type=int, default=0,
                           help="stimulus seed (default 0)")
+    add_obs_options(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
     # No --engine here: a sweep always runs the batched engine.
@@ -249,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_kernel_options(sweep, engine=False)
     sweep.add_argument("--seeds", type=int, default=8,
                        help="number of stimulus lanes (default 8)")
+    add_obs_options(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
     compose = subparsers.add_parser(
@@ -271,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run N lanes on the batched engine instead")
     compose.add_argument("--schedule", action="store_true",
                          help="print the static node schedule")
+    add_obs_options(compose)
     compose.set_defaults(handler=_cmd_compose)
 
     report = subparsers.add_parser(
@@ -301,12 +389,29 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default fuzz-failures/)")
     fuzz.add_argument("--oracles", default=None,
                       help="comma-separated subset of: pipeline, engines, "
-                           "flow-cache (default: all)")
+                           "compose, flow-cache, profile (default: all)")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="report raw failures without minimizing them")
     fuzz.add_argument("--no-repro", action="store_true",
                       help="do not write reproducer scripts")
     fuzz.set_defaults(handler=_cmd_fuzz)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="run a representative workload and report every cache")
+    stats.add_argument("kernel", nargs="?", default="gemm",
+                       help="kernel to exercise the caches with "
+                            "(default gemm)")
+    stats.add_argument("-p", "--param", action="append", metavar="KEY=VALUE",
+                       help="kernel size parameter (repeatable)")
+    stats.add_argument("--engine", default=None,
+                       help="simulation engine (default: process/env)")
+    stats.add_argument("--seeds", type=int, default=4,
+                       help="batched-sweep lanes in the workload (default 4)")
+    stats.add_argument("--tree", action="store_true",
+                       help="append the aggregated span tree")
+    add_obs_options(stats, profile=False)
+    stats.set_defaults(handler=_cmd_stats)
 
     return parser
 
@@ -318,6 +423,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.kernels import UnknownKernelError
 
     arguments = build_parser().parse_args(argv)
+    trace_path = getattr(arguments, "trace", None)
+    if trace_path:
+        # Enable before dispatch so every span of the command — Flow
+        # stages, passes, DSE, simulation — lands in one trace.
+        from repro.obs.tracer import TRACER
+        TRACER.enable()
     try:
         return arguments.handler(arguments)
     except UnknownKernelError as error:
@@ -331,6 +442,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if trace_path:
+            from repro.obs.export import write_chrome_trace
+            write_chrome_trace(trace_path)
+            print(f"wrote Chrome trace to {trace_path} "
+                  f"(open in ui.perfetto.dev)", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

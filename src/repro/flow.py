@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import os
 import time as _time
+import weakref
 from contextlib import contextmanager
 from dataclasses import dataclass, fields, replace
 from typing import (
@@ -67,6 +68,7 @@ from repro.ir.printer import module_fingerprint
 from repro.ir.verifier import verify as verify_structure
 from repro.hir.ops import FuncOp
 from repro.hir.types import MemrefType
+from repro.obs.tracer import TRACER
 
 T = TypeVar("T")
 
@@ -125,6 +127,12 @@ class FlowConfig:
     dse_memo_size: Optional[int] = None
     #: Simulator compile-cache bound (None: REPRO_SIM_CACHE_SIZE env).
     sim_cache_size: Optional[int] = None
+    #: Observability: enable the process tracer (:data:`repro.obs.TRACER`)
+    #: for the duration of every stage build and simulation of this flow.
+    trace: bool = False
+    #: Collect a :class:`repro.obs.simprofile.SimProfile` during
+    #: simulate()/simulate_batch() (reachable as ``outcome.profile``).
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.pipeline not in PIPELINES:
@@ -255,8 +263,9 @@ class Artifact(Generic[T]):
 
     ``fingerprint`` identifies the exact inputs (module content + config)
     the value was built from; ``provenance`` spells those inputs out;
-    ``seconds`` is the time spent *building* the value (0-cost when
-    ``cached`` is True — the handle was served from the stage cache).
+    ``seconds`` is always the time spent *building* the value — a handle
+    served from the stage cache keeps the original build time and reports
+    the (tiny) cache lookup separately in ``fetch_seconds``.
     """
 
     stage: str
@@ -265,11 +274,22 @@ class Artifact(Generic[T]):
     fingerprint: str
     provenance: Tuple[Tuple[str, str], ...] = ()
     cached: bool = False
+    #: Time this access spent fetching the handle from the stage cache;
+    #: ``None`` when the value was built fresh (``cached`` is False).
+    fetch_seconds: Optional[float] = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        origin = "cached" if self.cached else f"{self.seconds * 1e3:.2f} ms"
+        if self.cached:
+            fetched = ("" if self.fetch_seconds is None else
+                       f", fetched in {self.fetch_seconds * 1e6:.0f} us")
+            origin = f"cached; built in {self.seconds * 1e3:.2f} ms{fetched}"
+        else:
+            origin = f"built in {self.seconds * 1e3:.2f} ms"
+        provenance = ", ".join(f"{k}={v[:12]}" for k, v in self.provenance)
+        if provenance:
+            provenance = f" {{{provenance}}}"
         return (f"<Artifact {self.stage} [{self.fingerprint[:12]}] "
-                f"{type(self.value).__name__} ({origin})>")
+                f"{type(self.value).__name__} ({origin}){provenance}>")
 
 
 class VerilogArtifact:
@@ -309,6 +329,12 @@ class SimulationOutcome:
     def memory_array(self, name: str):
         return self.run.memory_array(name)
 
+    @property
+    def profile(self):
+        """The run's :class:`~repro.obs.simprofile.SimProfile` (None unless
+        the flow simulated with ``FlowConfig(profile=True)``)."""
+        return self.run.profile
+
 
 @dataclass(frozen=True)
 class BatchOutcome:
@@ -320,6 +346,12 @@ class BatchOutcome:
 
     def memory_array(self, name: str, lane: Optional[int] = None):
         return self.run.memory_array(name, lane)
+
+    @property
+    def profiles(self):
+        """Per-lane :class:`~repro.obs.simprofile.SimProfile` list (None
+        unless the flow simulated with ``FlowConfig(profile=True)``)."""
+        return self.run.profiles
 
 
 @dataclass(frozen=True)
@@ -336,6 +368,29 @@ class ValidationOutcome:
 # --------------------------------------------------------------------------- #
 # The Flow session
 # --------------------------------------------------------------------------- #
+
+#: Live Flow sessions, so the ``flow.stages`` cache report can aggregate the
+#: per-session stage caches (which are unbounded — one artifact per stage).
+_LIVE_FLOWS: "weakref.WeakSet" = weakref.WeakSet()
+
+#: Process-lifetime stage-cache hit/miss counters across every Flow session.
+_STAGE_STATS = {"hits": 0, "misses": 0}
+
+
+def _flow_stage_stats():
+    from repro.obs.cachestats import CacheStats
+    size = sum(len(flow._stages) for flow in _LIVE_FLOWS)
+    return CacheStats(name="flow.stages", capacity=None, size=size,
+                      hits=_STAGE_STATS["hits"],
+                      misses=_STAGE_STATS["misses"], evictions=0)
+
+
+def _register_flow_stats() -> None:
+    from repro.obs.cachestats import register_cache
+    register_cache("flow.stages", _flow_stage_stats)
+
+
+_register_flow_stats()
 
 
 def outputs_match(expected: Mapping[str, Any],
@@ -388,6 +443,10 @@ class Flow:
     ) -> None:
         #: stage name -> (cache key, artifact)
         self._stages: Dict[str, Tuple[tuple, Artifact]] = {}
+        # Config must exist before compose() runs (stages consult it for
+        # tracing); the DesignGraph branch below builds a stage in __init__.
+        self.config = config or FlowConfig()
+        _LIVE_FLOWS.add(self)
         from repro.graph.graph import DesignGraph  # local: layering
         #: The DesignGraph behind a composed flow (None for plain sources).
         self.graph: Optional[DesignGraph] = None
@@ -407,7 +466,6 @@ class Flow:
         #: for callers that need source-side extras such as ``hls_program``.
         self.source = source
         self.module = module
-        self.config = config or FlowConfig()
         pick = lambda override, attr, default: (  # noqa: E731
             override if override is not None
             else getattr(source, attr, None) or default)
@@ -490,10 +548,24 @@ class Flow:
     def _stage(self, stage: str, key: tuple, fingerprint: str,
                provenance: Tuple[Tuple[str, str], ...],
                build: Callable[[], Tuple[Any, float]]) -> Artifact:
+        fetch_start = _time.perf_counter()
         cached = self._stages.get(stage)
         if cached is not None and cached[0] == key:
-            return replace(cached[1], cached=True)
-        value, seconds = build()
+            _STAGE_STATS["hits"] += 1
+            with TRACER.activated(self.config.trace):
+                TRACER.count("flow.stage.hit")
+                TRACER.event("flow.stage.hit", cat="flow", stage=stage,
+                             fingerprint=fingerprint[:12])
+            return replace(cached[1], cached=True,
+                           fetch_seconds=_time.perf_counter() - fetch_start)
+        _STAGE_STATS["misses"] += 1
+        with TRACER.activated(self.config.trace):
+            TRACER.count("flow.stage.miss")
+            with TRACER.span(f"flow.{stage}", cat="flow",
+                             flow=getattr(self, "name", ""),
+                             fingerprint=fingerprint[:12],
+                             provenance=dict(provenance)):
+                value, seconds = build()
         artifact = Artifact(stage=stage, value=value, seconds=seconds,
                             fingerprint=fingerprint, provenance=provenance,
                             cached=False)
@@ -719,6 +791,7 @@ class Flow:
                  scalar_args: Optional[Mapping[str, int]] = None,
                  drain_cycles: Optional[int] = None,
                  max_cycles: Optional[int] = None,
+                 profile: Optional[bool] = None,
                  ) -> Artifact[SimulationOutcome]:
         """Simulate one stimulus set on the resolved engine.
 
@@ -726,7 +799,9 @@ class Flow:
         ``inputs`` maps interface names to tensors directly (missing
         write-only interfaces are zero-filled).  Simulation always runs —
         only the compile artifacts behind it are cached (the Flow stages
-        plus the per-design engine compile cache).
+        plus the per-design engine compile cache).  ``profile`` (per-call;
+        default :attr:`FlowConfig.profile`) collects a
+        :class:`~repro.obs.simprofile.SimProfile` into ``outcome.profile``.
         """
         from repro.sim.testbench import run_design_impl
         design_artifact = self.verilog()
@@ -735,8 +810,16 @@ class Flow:
         scalars = {**self.scalar_args, **(scalar_args or {})}
         provenance = (("verilog", design_artifact.fingerprint),
                       ("engine", engine_name), ("seed", str(seed)))
+        profiler = None
+        if self.config.profile if profile is None else profile:
+            from repro.obs.simprofile import SimProfiler
+            profiler = SimProfiler()
         start = _time.perf_counter()
-        with self.config.limits():
+        with TRACER.activated(self.config.trace), \
+                TRACER.span("flow.simulate", cat="flow", flow=self.name,
+                            engine=engine_name, seed=seed,
+                            fingerprint=design_artifact.fingerprint[:12]), \
+                self.config.limits():
             run = run_design_impl(
                 design_artifact.value.design,
                 memories={name: (memref_type, resolved[name])
@@ -748,8 +831,12 @@ class Flow:
                 max_cycles=(self.config.max_cycles if max_cycles is None
                             else max_cycles),
                 engine=engine_name,
+                profiler=profiler,
             )
         seconds = _time.perf_counter() - start
+        if run.profile is not None and self.graph is not None:
+            run.profile.bind_stream_edges(
+                [edge.buffer_name for edge in self.graph.edges])
         outcome = SimulationOutcome(run=run, inputs=resolved,
                                     engine=engine_name,
                                     seed=None if inputs is not None else seed)
@@ -762,6 +849,7 @@ class Flow:
                        scalar_args: Optional[Mapping[str, int]] = None,
                        drain_cycles: Optional[int] = None,
                        max_cycles: Optional[int] = None,
+                       profile: Optional[bool] = None,
                        ) -> Artifact[BatchOutcome]:
         """Simulate one stimulus lane per seed with the batched engine."""
         from repro.sim.engine.batch import run_design_batch_impl
@@ -777,8 +865,16 @@ class Flow:
         scalars = {**self.scalar_args, **(scalar_args or {})}
         provenance = (("verilog", design_artifact.fingerprint),
                       ("engine", "batched"), ("lanes", str(len(lanes))))
+        profiler = None
+        if self.config.profile if profile is None else profile:
+            from repro.obs.simprofile import BatchSimProfiler
+            profiler = BatchSimProfiler()
         start = _time.perf_counter()
-        with self.config.limits():
+        with TRACER.activated(self.config.trace), \
+                TRACER.span("flow.simulate_batch", cat="flow",
+                            flow=self.name, lanes=len(lanes),
+                            fingerprint=design_artifact.fingerprint[:12]), \
+                self.config.limits():
             run = run_design_batch_impl(
                 design_artifact.value.design,
                 memories={name: (memref_type,
@@ -790,8 +886,13 @@ class Flow:
                               else drain_cycles),
                 max_cycles=(self.config.max_cycles if max_cycles is None
                             else max_cycles),
+                profiler=profiler,
             )
         seconds = _time.perf_counter() - start
+        if run.profiles is not None and self.graph is not None:
+            edge_buffers = [edge.buffer_name for edge in self.graph.edges]
+            for lane_profile in run.profiles:
+                lane_profile.bind_stream_edges(edge_buffers)
         outcome = BatchOutcome(run=run, inputs_per_lane=lanes, seeds=seeds)
         return Artifact(stage="simulate_batch", value=outcome, seconds=seconds,
                         fingerprint=design_artifact.fingerprint,

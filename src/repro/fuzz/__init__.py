@@ -31,6 +31,7 @@ from repro.fuzz.oracles import (
     check_flow_cache,
     check_generator,
     check_pipeline,
+    check_profile,
     check_program,
 )
 from repro.fuzz.runner import (
@@ -68,6 +69,7 @@ __all__ = [
     "check_flow_cache",
     "check_generator",
     "check_pipeline",
+    "check_profile",
     "check_program",
     "fuzz_one",
     "generate_spec",

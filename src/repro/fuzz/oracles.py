@@ -30,6 +30,12 @@ paths and demands equivalence:
     served from cache with identical bytes, rebuilding a fresh session must
     reproduce them, and mutating the source module must invalidate (then
     reproducing the original content must restore the original bytes).
+``profile``
+    The opt-in simulation profiler (:mod:`repro.obs.simprofile`) counts
+    only architectural events, so the profile of one stimulus must be
+    bit-identical — per-op firings, per-cycle event histogram, port
+    occupancy, memory write traffic — across the interpreted, compiled and
+    batched engines (:meth:`repro.obs.simprofile.SimProfile.signature`).
 
 Every check is pure with respect to the spec: oracles materialize their own
 modules and never mutate the spec, so the shrinker can re-run them freely.
@@ -53,7 +59,8 @@ from repro.verilog.codegen import generate_verilog_impl
 from repro.verilog.emitter import emit_design
 
 #: Oracle names in the order they run.
-ORACLES: Tuple[str, ...] = ("pipeline", "engines", "compose", "flow-cache")
+ORACLES: Tuple[str, ...] = ("pipeline", "engines", "compose", "flow-cache",
+                            "profile")
 
 #: Stimulus lanes the engine oracle drives through the batched engine.
 DEFAULT_LANES = 3
@@ -421,6 +428,67 @@ def check_flow_cache(spec: ProgramSpec) -> Optional[OracleFailure]:
     return None
 
 
+def check_profile(spec: ProgramSpec) -> Optional[OracleFailure]:
+    """The simulation profile of one stimulus must be engine-independent."""
+    import json
+
+    from repro.ir.errors import SimulationError
+    from repro.obs.simprofile import BatchSimProfiler, SimProfiler
+    from repro.sim.engine.batch import run_design_batch_impl
+    from repro.sim.testbench import run_design_impl
+
+    try:
+        program = _optimized_module(spec, legacy=False)
+        design = generate_verilog_impl(program.module,
+                                       top=program.top).design
+    except IRError as error:
+        return OracleFailure("profile", f"compilation crashed: {error}")
+
+    inputs = make_lane_inputs(spec, program.interfaces, program.input_names,
+                              program.output_names, lane=0)
+    memories = {name: (memref_type, inputs[name])
+                for name, memref_type in program.interfaces.items()}
+
+    signatures = {}
+    try:
+        for engine in ("interpreted", "compiled"):
+            run = run_design_impl(design, memories=dict(memories),
+                                  max_cycles=MAX_CYCLES, drain_cycles=16,
+                                  engine=engine, profiler=SimProfiler())
+            if not run.done:
+                return OracleFailure(
+                    "profile", f"design never pulsed done within "
+                    f"{MAX_CYCLES} cycles ({engine})")
+            signatures[engine] = run.profile.signature()
+        batch = run_design_batch_impl(
+            design,
+            memories={name: (memref_type, [inputs[name]])
+                      for name, memref_type in program.interfaces.items()},
+            max_cycles=MAX_CYCLES, drain_cycles=16,
+            profiler=BatchSimProfiler())
+        if not batch.done[0]:
+            return OracleFailure(
+                "profile",
+                f"design never pulsed done within {MAX_CYCLES} cycles "
+                "(batched)")
+        signatures["batched"] = batch.profiles[0].signature()
+    except SimulationError as error:
+        return OracleFailure("profile", f"profiled simulation crashed: "
+                                        f"{error}")
+
+    reference = signatures["interpreted"]
+    for engine in ("compiled", "batched"):
+        if signatures[engine] != reference:
+            return OracleFailure(
+                "profile",
+                f"{engine} profile differs from the interpreted profile:\n"
+                + _first_diff(json.dumps(reference, indent=1, sort_keys=True),
+                              json.dumps(signatures[engine], indent=1,
+                                         sort_keys=True),
+                              "interpreted", engine))
+    return None
+
+
 # --------------------------------------------------------------------------- #
 # Entry point
 # --------------------------------------------------------------------------- #
@@ -430,6 +498,7 @@ _CHECKS = {
     "engines": check_engines,
     "compose": check_compose,
     "flow-cache": check_flow_cache,
+    "profile": check_profile,
 }
 
 
@@ -468,6 +537,7 @@ __all__ = [
     "check_flow_cache",
     "check_generator",
     "check_pipeline",
+    "check_profile",
     "check_program",
     "make_lane_inputs",
 ]

@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hls.binding import bind_loop
+from repro.obs.tracer import TRACER
 from repro.hls.options import HLSOptions
 from repro.hls.scheduling import (
     DataflowGraph,
@@ -141,6 +142,10 @@ def _memo_capacity() -> int:
 
 _SCHEDULE_MEMO: "OrderedDict[MemoKey, MemoValue]" = OrderedDict()
 
+#: Lifetime hit/miss/eviction counters, reported through
+#: :mod:`repro.obs.cachestats` as the ``dse.memo`` cache.
+_MEMO_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
 
 def clear_schedule_memo() -> None:
     """Drop every memoized schedule (tests and benchmarks)."""
@@ -155,6 +160,9 @@ def _memo_get(key: MemoKey) -> Optional[MemoValue]:
     value = _SCHEDULE_MEMO.get(key)
     if value is not None:
         _SCHEDULE_MEMO.move_to_end(key)
+        _MEMO_STATS["hits"] += 1
+    else:
+        _MEMO_STATS["misses"] += 1
     return value
 
 
@@ -166,6 +174,23 @@ def _memo_put(key: MemoKey, value: MemoValue) -> None:
     _SCHEDULE_MEMO.move_to_end(key)
     while len(_SCHEDULE_MEMO) > capacity:
         _SCHEDULE_MEMO.popitem(last=False)
+        _MEMO_STATS["evictions"] += 1
+
+
+def _memo_stats():
+    from repro.obs.cachestats import CacheStats
+    return CacheStats(name="dse.memo", capacity=_memo_capacity(),
+                      size=len(_SCHEDULE_MEMO), hits=_MEMO_STATS["hits"],
+                      misses=_MEMO_STATS["misses"],
+                      evictions=_MEMO_STATS["evictions"])
+
+
+def _register_memo_stats() -> None:
+    from repro.obs.cachestats import register_cache
+    register_cache("dse.memo", _memo_stats)
+
+
+_register_memo_stats()
 
 
 # --------------------------------------------------------------------------- #
@@ -275,6 +300,19 @@ def _inflate_slim(spec: "_Spec", slim: tuple) -> MemoValue:
     graph = spec.graph if spec.graph is not None else DFGBuilder().build(spec.body)
     schedule = LoopSchedule(graph, start, latency, ii, pipelined, attempts)
     return schedule, registers, memory_ops
+
+
+def _evaluate_worker(fork, body, pipelined, requested_ii, ports, graph,
+                     attempt_cache, order, unroll) -> MemoValue:
+    """Thread-pool task: evaluate one design point, recording its span into
+    the worker's forked tracer (None when tracing is off)."""
+    if fork is None:
+        return _evaluate_point(body, pipelined, requested_ii, ports, graph,
+                               attempt_cache)
+    with fork.span("dse.candidate", cat="dse", order=order, unroll=unroll,
+                   ii=requested_ii):
+        return _evaluate_point(body, pipelined, requested_ii, ports, graph,
+                               attempt_cache)
 
 
 def _make_candidate(spec: _Spec, value: MemoValue) -> Candidate:
@@ -392,9 +430,11 @@ def _evaluate_spec(spec: _Spec, exploration: LoopExploration,
     if value is not None:
         exploration.memo_hits += 1
     else:
-        value = _evaluate_point(spec.body, spec.pipelined, spec.requested_ii,
-                                spec.ports, spec.graph,
-                                spec.attempt_cache if memoize else None)
+        with TRACER.span("dse.candidate", cat="dse", order=spec.order,
+                         unroll=spec.unroll, ii=spec.requested_ii):
+            value = _evaluate_point(spec.body, spec.pipelined,
+                                    spec.requested_ii, spec.ports, spec.graph,
+                                    spec.attempt_cache if memoize else None)
         exploration.scheduled += 1
         if memoize:
             _memo_put(key, value)
@@ -412,14 +452,20 @@ def explore_loop(loop: For,
     directive = bool(pragmas.pipeline and pragmas.initiation_interval is not None)
     incumbent = _Incumbent(directive)
 
-    if options.jobs > 1 and len(specs) > 1:
-        self_candidates = _explore_parallel(specs, exploration, incumbent,
-                                            options)
-    else:
-        self_candidates = _explore_serial(specs, exploration, incumbent,
-                                          options)
+    with TRACER.span("dse.explore_loop", cat="dse", var=loop.var,
+                     specs=len(specs), jobs=options.jobs):
+        if options.jobs > 1 and len(specs) > 1:
+            self_candidates = _explore_parallel(specs, exploration, incumbent,
+                                                options)
+        else:
+            self_candidates = _explore_serial(specs, exploration, incumbent,
+                                              options)
     exploration.candidates = self_candidates
     exploration.chosen = _select(exploration.candidates, pragmas)
+    TRACER.count("dse.sweeps")
+    TRACER.count("dse.pruned", exploration.pruned)
+    TRACER.count("dse.memo_hits", exploration.memo_hits)
+    TRACER.count("dse.scheduled", exploration.scheduled)
     return exploration
 
 
@@ -499,11 +545,21 @@ def _explore_parallel(specs: List[_Spec], exploration: LoopExploration,
                 for spec in pending
             ]
         else:
+            # Per-candidate spans under jobs>1: each submission records into
+            # its own forked tracer, merged back in enumeration order below,
+            # so the exported trace is deterministic regardless of worker
+            # completion order.  (Process pools skip spans: a child tracer
+            # cannot cross the pickle boundary.)
+            forks = ([TRACER.fork(f"dse.worker.{spec.order}")
+                      for spec in pending] if TRACER.enabled
+                     else [None] * len(pending))
             futures = [
-                executor.submit(_evaluate_point, spec.body, spec.pipelined,
-                                spec.requested_ii, spec.ports, spec.graph,
-                                spec.attempt_cache if options.memoize else None)
-                for spec in pending
+                executor.submit(_evaluate_worker, fork, spec.body,
+                                spec.pipelined, spec.requested_ii, spec.ports,
+                                spec.graph,
+                                spec.attempt_cache if options.memoize else None,
+                                spec.order, spec.unroll)
+                for spec, fork in zip(pending, forks)
             ]
         values: Dict[int, MemoValue] = {}
         for spec, future in zip(pending, futures):
@@ -514,6 +570,10 @@ def _explore_parallel(specs: List[_Spec], exploration: LoopExploration,
                 _memo_put(spec.memo_key(), value)
             values[spec.order] = value
             results[spec.order] = _make_candidate(spec, value)
+        if not use_processes:
+            for fork in forks:
+                if fork is not None:
+                    TRACER.merge(fork)
         by_order = {spec.order: spec for spec in survivors}
         for dup_order, first_order in duplicates.items():
             exploration.memo_hits += 1

@@ -163,6 +163,8 @@ class AnalysisManager:
         self._cache: Dict[Tuple[str, int], object] = {}
         self.hits = 0
         self.misses = 0
+        #: Cached results actually dropped by ``invalidate*`` calls.
+        self.invalidations = 0
 
     def get(self, name: str, module: Operation) -> object:
         if name not in _ANALYSES:
@@ -186,8 +188,10 @@ class AnalysisManager:
     def invalidate(self, *names: str) -> None:
         """Drop specific analyses (every module)."""
         dropped = set(names)
+        before = len(self._cache)
         self._cache = {key: value for key, value in self._cache.items()
                        if key[0] not in dropped}
+        self.invalidations += before - len(self._cache)
 
     def invalidate_all_except(self, preserved: Tuple[str, ...]) -> None:
         """Invalidate after a transformation pass ran.
@@ -198,8 +202,10 @@ class AnalysisManager:
         if preserved == PRESERVE_ALL:
             return
         keep = set(preserved)
+        before = len(self._cache)
         self._cache = {key: value for key, value in self._cache.items()
                        if key[0] in keep}
+        self.invalidations += before - len(self._cache)
 
     def clear(self) -> None:
         self._cache.clear()

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.ir.analysis import AnalysisManager, PRESERVE_ALL
 from repro.ir.operation import Operation
 from repro.ir.verifier import verify
+from repro.obs.tracer import TRACER
 
 __all__ = ["Pass", "PassManager", "PassTiming", "PRESERVE_ALL"]
 
@@ -91,7 +92,8 @@ class PassManager:
             pass_.statistics = {}
             pass_.analyses = analyses
             start = time.perf_counter()
-            pass_.run(module)
+            with TRACER.span("pass", cat="pass", name_=pass_.name):
+                pass_.run(module)
             elapsed = time.perf_counter() - start
             verify_elapsed = 0.0
             if self.verify_each:
@@ -103,6 +105,9 @@ class PassManager:
                            verify_elapsed)
             )
             analyses.invalidate_all_except(pass_.PRESERVES)
+            TRACER.count("pass.runs")
+            for key, value in pass_.statistics.items():
+                TRACER.count(f"pass.{pass_.name}.{key}", value)
         return module
 
     def timing_report(self) -> str:
@@ -125,7 +130,8 @@ class PassManager:
         )
         manager = self.analysis_manager
         lines.append(
-            f"analysis cache: {manager.hits} hits, {manager.misses} misses"
+            f"analysis cache: {manager.hits} hits, {manager.misses} misses, "
+            f"{manager.invalidations} invalidations"
         )
         return "\n".join(lines)
 

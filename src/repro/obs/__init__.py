@@ -1,0 +1,88 @@
+"""``repro.obs`` — tracing, metrics and simulation profiling.
+
+The observability layer the rest of the toolchain reports into:
+
+* :mod:`~repro.obs.tracer` — the process-wide :data:`~repro.obs.tracer.
+  TRACER`: nestable spans, typed counters/gauges, a bounded event ring.
+  Off by default, ~free when off; enable per Flow session with
+  ``FlowConfig(trace=True)``, per block with :func:`tracing`, or from the
+  CLI with ``--trace out.json``.
+* :mod:`~repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto), flat
+  JSONL, and the human stats tree.
+* :mod:`~repro.obs.cachestats` — one registry enumerating every in-memory
+  cache (sim compile cache, DSE memo, Flow stages) with capacity/size/
+  hit-rate; the substrate of ``python -m repro stats``.
+* :mod:`~repro.obs.simprofile` — opt-in per-run simulation profiles
+  (op firings, per-cycle events, port occupancy, memory/stream-buffer
+  utilization), bit-identical across the interpreted, compiled and batched
+  engines.
+* :mod:`~repro.obs.metrics` — the versioned schema of the BENCH_*.json
+  benchmark artifacts plus its validator.
+
+Zero dependencies beyond the standard library and numpy (already required
+by the simulators).
+"""
+
+from repro.obs.cachestats import (
+    CacheStats,
+    all_cache_stats,
+    register_cache,
+    render_cache_report,
+)
+from repro.obs.export import (
+    chrome_trace_from_jsonl,
+    read_jsonl,
+    stats_tree,
+    to_chrome_trace,
+    to_jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    SCHEMA_VERSION,
+    bench_payload,
+    validate_bench_payload,
+)
+from repro.obs.simprofile import (
+    BatchSimProfiler,
+    MemProfile,
+    PortProfile,
+    SimProfile,
+    SimProfiler,
+)
+from repro.obs.tracer import (
+    TRACER,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    tracing,
+)
+
+__all__ = [
+    "BatchSimProfiler",
+    "CacheStats",
+    "MemProfile",
+    "PortProfile",
+    "SCHEMA_VERSION",
+    "SimProfile",
+    "SimProfiler",
+    "TRACER",
+    "Tracer",
+    "all_cache_stats",
+    "bench_payload",
+    "chrome_trace_from_jsonl",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "read_jsonl",
+    "register_cache",
+    "render_cache_report",
+    "stats_tree",
+    "to_chrome_trace",
+    "to_jsonl_lines",
+    "tracing",
+    "validate_bench_payload",
+    "write_chrome_trace",
+    "write_jsonl",
+]

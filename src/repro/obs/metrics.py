@@ -1,0 +1,133 @@
+"""The versioned metrics schema behind BENCH_sim.json / BENCH_compile.json.
+
+The benchmark harness (``benchmarks/conftest.py``) records named measurement
+dicts; :func:`bench_payload` wraps them into the stable envelope below, and
+:func:`validate_bench_payload` is the smoke check CI runs against every
+emitted file (``python -m repro.obs.metrics BENCH_sim.json ...``), so the
+perf trajectory stays machine-readable across commits.
+
+Schema (version 2)::
+
+    {
+      "schema": 2,
+      "unix_time": <float>,           # emission time
+      "python": "3.x.y",
+      "platform": "<platform.platform()>",
+      "records": [                    # sorted by name
+        {"name": "<measurement id>", <metric>: <int|float|str|bool>, ...},
+        ...
+      ]
+    }
+
+Version 1 (no formal validation, same envelope minus the guarantees) is
+accepted by the validator for old artifacts; new emitters always write
+version 2.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+SCHEMA_VERSION = 2
+
+#: Metric value types the schema allows inside a record.
+_SCALAR_TYPES = (int, float, str, bool)
+
+
+def bench_payload(records: Sequence[Mapping[str, Any]],
+                  unix_time: Optional[float] = None) -> Dict[str, Any]:
+    """Wrap benchmark records in the versioned envelope (records sorted by
+    name so diffs between commits stay stable)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "unix_time": time.time() if unix_time is None else unix_time,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "records": sorted((dict(record) for record in records),
+                          key=lambda record: str(record.get("name", ""))),
+    }
+
+
+def validate_bench_payload(payload: Any) -> List[str]:
+    """Every schema violation in ``payload`` (empty list = valid)."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be an object, got {type(payload).__name__}"]
+    schema = payload.get("schema")
+    if schema not in (1, SCHEMA_VERSION):
+        errors.append(f"unknown schema version {schema!r} "
+                      f"(expected 1 or {SCHEMA_VERSION})")
+    for key, kind in (("unix_time", (int, float)), ("python", str),
+                      ("platform", str)):
+        if not isinstance(payload.get(key), kind):
+            errors.append(f"missing or mistyped field {key!r}")
+    records = payload.get("records")
+    if not isinstance(records, list):
+        return errors + ["'records' must be a list"]
+    names = []
+    for index, record in enumerate(records):
+        if not isinstance(record, dict):
+            errors.append(f"records[{index}] must be an object")
+            continue
+        name = record.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"records[{index}] needs a non-empty 'name'")
+            continue
+        names.append(name)
+        for key, value in record.items():
+            if not isinstance(value, _SCALAR_TYPES):
+                errors.append(
+                    f"records[{index}] ({name}): metric {key!r} must be "
+                    f"int/float/str/bool, got {type(value).__name__}")
+    if schema == SCHEMA_VERSION and names != sorted(names):
+        errors.append("records must be sorted by name")
+    return errors
+
+
+def validate_bench_file(path: str) -> List[str]:
+    """Validate one emitted BENCH_*.json file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"{path}: cannot read/parse: {error}"]
+    return [f"{path}: {error}" for error in validate_bench_payload(payload)]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CI smoke check: ``python -m repro.obs.metrics FILE [FILE...]``."""
+    paths = sys.argv[1:] if argv is None else list(argv)
+    if not paths:
+        print("usage: python -m repro.obs.metrics BENCH_file.json ...",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for path in paths:
+        errors = validate_bench_file(path)
+        if errors:
+            failures += 1
+            for error in errors:
+                print(f"INVALID  {error}", file=sys.stderr)
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            print(f"ok       {path}: schema {payload.get('schema')}, "
+                  f"{len(payload.get('records', []))} record(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "bench_payload",
+    "validate_bench_file",
+    "validate_bench_payload",
+    "main",
+]

@@ -1,0 +1,345 @@
+"""Opt-in simulation profiling, identical in shape across every engine.
+
+A :class:`SimProfiler` (scalar engines) or :class:`BatchSimProfiler`
+(batched engine) attaches to a simulator and collects, per run:
+
+* **per-op firing counts** — how many clock edges changed each register
+  (keyed by flattened signal name),
+* **per-cycle event counts** — a histogram of (register firings + committed
+  memory writes) per clock edge,
+* **interface-memory port occupancy** — read/write enable counts per memref
+  port of the top module,
+* **on-chip memory utilization** — committed in-bounds writes and distinct
+  words touched per internal memory, which for composed graphs doubles as
+  the stream-buffer edge utilization (:meth:`SimProfile.bind_stream_edges`).
+
+Everything counted is an *architectural* event — a register value change at
+a clock edge, a committed in-bounds memory write, a sampled rd_en/wr_en —
+never an artifact of how an engine evaluates (the compiled engine only
+re-evaluates dirty cones; the interpreter evaluates everything).  Profiles
+are therefore bit-identical across interpreted, compiled and batched runs of
+the same stimulus, and the differential suite (and the ``profile`` fuzz
+oracle) asserts exactly that via :meth:`SimProfile.signature`.
+
+Profiling is opt-in: engines carry ``self.profiler = None`` and skip every
+hook when it is unset, so the default path costs one ``is None`` check per
+clock edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+import numpy as np
+
+
+@dataclass
+class PortProfile:
+    """Occupancy of one interface-memory port (external RAM protocol)."""
+
+    reads: int = 0
+    writes: int = 0
+    read_cycles: int = 0
+    write_cycles: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"reads": int(self.reads), "writes": int(self.writes),
+                "read_cycles": int(self.read_cycles),
+                "write_cycles": int(self.write_cycles)}
+
+
+@dataclass
+class MemProfile:
+    """Write traffic + utilization of one on-chip (internal) memory."""
+
+    depth: int
+    writes: int = 0
+    words_written: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the memory's words written at least once."""
+        return self.words_written / self.depth if self.depth else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"depth": int(self.depth), "writes": int(self.writes),
+                "words_written": int(self.words_written)}
+
+
+@dataclass
+class SimProfile:
+    """One run's profile; engine-independent except for the label."""
+
+    engine: str
+    cycles: int
+    op_firings: Dict[str, int] = field(default_factory=dict)
+    events_per_cycle: Dict[int, int] = field(default_factory=dict)
+    ports: Dict[str, PortProfile] = field(default_factory=dict)
+    memories: Dict[str, MemProfile] = field(default_factory=dict)
+    #: Stream-buffer edge utilization of a composed graph, filled by
+    #: :meth:`bind_stream_edges` (keys: ``GraphEdge.buffer_name``).
+    stream_edges: Dict[str, MemProfile] = field(default_factory=dict)
+
+    def signature(self) -> Dict[str, Any]:
+        """Engine-independent, JSON-stable digest for differential tests.
+
+        Two engines simulated the same design on the same stimulus iff their
+        signatures compare equal (``stream_edges`` is excluded: it is a
+        deterministic view over ``memories``).
+        """
+        return {
+            "cycles": int(self.cycles),
+            "op_firings": {name: int(count) for name, count
+                           in sorted(self.op_firings.items()) if count},
+            "events_per_cycle": {str(events): int(count) for events, count
+                                 in sorted(self.events_per_cycle.items())
+                                 if count},
+            "ports": {name: port.as_dict()
+                      for name, port in sorted(self.ports.items())},
+            "memories": {name: mem.as_dict()
+                         for name, mem in sorted(self.memories.items())},
+        }
+
+    def bind_stream_edges(self, buffer_names: List[str]) -> "SimProfile":
+        """Map composed-graph edge buffers onto their internal memories.
+
+        Edge buffers are allocated inside the generated wrapper, so their
+        flattened memory names *contain* the buffer name; each edge picks the
+        matching memory's profile.
+        """
+        for buffer_name in buffer_names:
+            for mem_name, profile in self.memories.items():
+                if buffer_name in mem_name:
+                    self.stream_edges[buffer_name] = profile
+                    break
+        return self
+
+    def render(self, top: int = 12) -> str:
+        """Human-readable profile summary (``top`` busiest ops)."""
+        lines = [f"profile [{self.engine}] {self.cycles} cycles"]
+        firings = sorted(self.op_firings.items(),
+                         key=lambda item: (-item[1], item[0]))
+        if firings:
+            lines.append(f"  op firings (top {min(top, len(firings))} "
+                         f"of {len(firings)}):")
+            for name, count in firings[:top]:
+                lines.append(f"    {name:<48} {count:>8}")
+        if self.events_per_cycle:
+            busiest = max(self.events_per_cycle)
+            total = sum(events * count for events, count
+                        in self.events_per_cycle.items())
+            lines.append(f"  events: {total} total, busiest cycle "
+                         f"{busiest} events")
+        for name, port in sorted(self.ports.items()):
+            lines.append(f"  port {name:<24} reads={port.reads:<6} "
+                         f"writes={port.writes}")
+        if self.stream_edges:
+            for name, mem in sorted(self.stream_edges.items()):
+                lines.append(f"  edge {name:<24} writes={mem.writes:<6} "
+                             f"util={mem.utilization * 100:5.1f} %")
+        else:
+            for name, mem in sorted(self.memories.items()):
+                lines.append(f"  mem  {name:<24} writes={mem.writes:<6} "
+                             f"util={mem.utilization * 100:5.1f} %")
+        return "\n".join(lines)
+
+
+def _bind_target(simulator):
+    """The engine object that owns the profiler hooks (the interpreted
+    reference child for a DifferentialSimulator)."""
+    return getattr(simulator, "reference", None) or simulator
+
+
+class SimProfiler:
+    """Collector for the scalar engines (interpreted / compiled /
+    differential); engines call the ``on_*`` hooks from ``clock_edge``."""
+
+    def __init__(self) -> None:
+        self.firings: Dict[str, int] = {}
+        self.events_per_cycle: Dict[int, int] = {}
+        self.mem_writes: Dict[str, int] = {}
+        self.mem_words: Dict[str, Set[int]] = {}
+        self.ports: Dict[str, PortProfile] = {}
+        self.edges = 0
+        self._events = 0
+        self._mem_depths: Dict[str, int] = {}
+
+    def bind(self, simulator) -> "SimProfiler":
+        """Attach to a simulator (installs ``simulator.profiler``)."""
+        target = _bind_target(simulator)
+        self._mem_depths = {name: depth for name, (_, depth)
+                            in target.flat.memories.items()}
+        for name in self._mem_depths:
+            self.mem_writes.setdefault(name, 0)
+            self.mem_words.setdefault(name, set())
+        target.profiler = self
+        return self
+
+    # -- clock-edge hooks ----------------------------------------------------
+    def begin_edge(self) -> None:
+        self._events = 0
+
+    def on_reg(self, name: str) -> None:
+        self.firings[name] = self.firings.get(name, 0) + 1
+        self._events += 1
+
+    def on_mem_write(self, name: str, address: int) -> None:
+        self.mem_writes[name] = self.mem_writes.get(name, 0) + 1
+        self.mem_words.setdefault(name, set()).add(address)
+        self._events += 1
+
+    def end_edge(self) -> None:
+        self.edges += 1
+        count = self.events_per_cycle
+        count[self._events] = count.get(self._events, 0) + 1
+
+    # -- testbench hook ------------------------------------------------------
+    def on_port(self, prefix: str, read: bool, write: bool) -> None:
+        port = self.ports.setdefault(prefix, PortProfile())
+        if read:
+            port.reads += 1
+            port.read_cycles += 1
+        if write:
+            port.writes += 1
+            port.write_cycles += 1
+
+    # -- result --------------------------------------------------------------
+    def finish(self, engine: str) -> SimProfile:
+        memories = {
+            name: MemProfile(depth=self._mem_depths.get(name, 0),
+                             writes=self.mem_writes.get(name, 0),
+                             words_written=len(self.mem_words.get(name, ())))
+            for name in self._mem_depths
+        }
+        return SimProfile(engine=engine, cycles=self.edges,
+                          op_firings=dict(self.firings),
+                          events_per_cycle=dict(self.events_per_cycle),
+                          ports=dict(self.ports), memories=memories)
+
+
+class BatchSimProfiler:
+    """Collector for the batched engine: every accumulator grows a lane
+    axis, and counting is gated per lane by the testbench's *active* mask so
+    each lane's profile covers exactly the cycles its scalar run would
+    execute (start through done + drain)."""
+
+    def __init__(self) -> None:
+        self.lanes = 0
+        self._bound = False
+
+    def bind(self, simulator) -> "BatchSimProfiler":
+        self.lanes = simulator.lanes
+        self._lane_index = np.arange(self.lanes)
+        self.mem_names = list(simulator.lowered.mem_names)
+        self.mem_depths = list(simulator.lowered.mem_depths)
+        self.firings: Dict[str, np.ndarray] = {}
+        self.mem_writes = {name: np.zeros(self.lanes, dtype=np.int64)
+                           for name in self.mem_names}
+        self.mem_words = {
+            name: np.zeros((self.lanes, depth), dtype=bool)
+            for name, depth in zip(self.mem_names, self.mem_depths)
+        }
+        self.ports: Dict[str, Dict[str, np.ndarray]] = {}
+        self.active = np.ones(self.lanes, dtype=bool)
+        self.edge_count = np.zeros(self.lanes, dtype=np.int64)
+        self._hist = np.zeros((self.lanes, 8), dtype=np.int64)
+        self._events = np.zeros(self.lanes, dtype=np.int64)
+        self._bound = True
+        simulator.profiler = self
+        return self
+
+    def set_active(self, active: np.ndarray) -> None:
+        """Install the per-lane drain-window mask for the coming edge."""
+        self.active = active
+
+    # -- clock-edge hooks ----------------------------------------------------
+    def begin_edge(self) -> None:
+        self._events = np.zeros(self.lanes, dtype=np.int64)
+
+    def on_reg(self, name: str, changed: np.ndarray) -> None:
+        fired = changed & self.active
+        if not fired.any():
+            return
+        counts = self.firings.get(name)
+        if counts is None:
+            counts = self.firings[name] = np.zeros(self.lanes, dtype=np.int64)
+        counts += fired
+        self._events += fired
+
+    def on_mem_write(self, name: str, valid: np.ndarray,
+                     address: np.ndarray) -> None:
+        counted = valid & self.active
+        if not counted.any():
+            return
+        self.mem_writes[name] += counted
+        self.mem_words[name][self._lane_index[counted], address[counted]] = True
+        self._events += counted
+
+    def end_edge(self) -> None:
+        self.edge_count += self.active
+        peak = int(self._events.max()) if self.lanes else 0
+        if peak >= self._hist.shape[1]:
+            grown = np.zeros((self.lanes, peak + 8), dtype=np.int64)
+            grown[:, :self._hist.shape[1]] = self._hist
+            self._hist = grown
+        lanes = self._lane_index[self.active]
+        np.add.at(self._hist, (lanes, self._events[self.active]), 1)
+
+    # -- testbench hook ------------------------------------------------------
+    def on_port(self, prefix: str,
+                read_mask: Optional[np.ndarray],
+                write_mask: Optional[np.ndarray]) -> None:
+        port = self.ports.get(prefix)
+        if port is None:
+            port = self.ports[prefix] = {
+                key: np.zeros(self.lanes, dtype=np.int64)
+                for key in ("reads", "writes", "read_cycles", "write_cycles")
+            }
+        if read_mask is not None:
+            hits = read_mask & self.active
+            port["reads"] += hits
+            port["read_cycles"] += hits
+        if write_mask is not None:
+            hits = write_mask & self.active
+            port["writes"] += hits
+            port["write_cycles"] += hits
+
+    # -- result --------------------------------------------------------------
+    def lane_profile(self, lane: int) -> SimProfile:
+        """The profile of one lane, shaped exactly like a scalar run's."""
+        firings = {name: int(counts[lane])
+                   for name, counts in self.firings.items()
+                   if counts[lane]}
+        hist_row = self._hist[lane]
+        events_per_cycle = {events: int(count)
+                            for events, count in enumerate(hist_row) if count}
+        ports = {
+            prefix: PortProfile(reads=int(arrays["reads"][lane]),
+                                writes=int(arrays["writes"][lane]),
+                                read_cycles=int(arrays["read_cycles"][lane]),
+                                write_cycles=int(arrays["write_cycles"][lane]))
+            for prefix, arrays in self.ports.items()
+        }
+        memories = {
+            name: MemProfile(depth=depth,
+                             writes=int(self.mem_writes[name][lane]),
+                             words_written=int(self.mem_words[name][lane].sum()))
+            for name, depth in zip(self.mem_names, self.mem_depths)
+        }
+        return SimProfile(engine="batched", cycles=int(self.edge_count[lane]),
+                          op_firings=firings,
+                          events_per_cycle=events_per_cycle,
+                          ports=ports, memories=memories)
+
+    def finish(self) -> List[SimProfile]:
+        return [self.lane_profile(lane) for lane in range(self.lanes)]
+
+
+__all__ = [
+    "BatchSimProfiler",
+    "MemProfile",
+    "PortProfile",
+    "SimProfile",
+    "SimProfiler",
+]

@@ -45,6 +45,10 @@ _CACHE: "OrderedDict[int, dict]" = OrderedDict()
 #: later re-cached does not accumulate one finalizer per re-insertion.
 _FINALIZED: set = set()
 
+#: Lifetime hit/miss/eviction counters, reported through
+#: :mod:`repro.obs.cachestats` as the ``sim.compile`` cache.
+_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
 
 #: Programmatic capacity override (wins over the environment); installed by
 #: :meth:`repro.flow.FlowConfig` for the duration of a Flow-driven run.
@@ -97,6 +101,7 @@ def _design_entry(design: Design) -> Optional[dict]:
     _CACHE.move_to_end(key)
     while len(_CACHE) > capacity:
         _CACHE.popitem(last=False)
+        _STATS["evictions"] += 1
     return entry
 
 
@@ -131,10 +136,14 @@ def compiled_artifacts(design: Design, top: Optional[str], external_models,
     if cacheable:
         artifacts = per_design.get(top)
     if artifacts is None:
+        if cacheable:
+            _STATS["misses"] += 1
         flat, lowered = _elaborate(design, top, external_models)
         artifacts = CompiledArtifacts(flat=flat, lowered=lowered)
         if cacheable:
             per_design[top] = artifacts
+    else:
+        _STATS["hits"] += 1
     if vector:
         if artifacts.comb_vector_fn is None:
             artifacts.comb_vector_fn = compile_comb_vector(artifacts.lowered)
@@ -150,6 +159,21 @@ def compiled_artifacts(design: Design, top: Optional[str], external_models,
 def clear_compile_cache() -> None:
     """Drop every cached compilation (mainly for tests and benchmarks)."""
     _CACHE.clear()
+
+
+def _cache_stats():
+    from repro.obs.cachestats import CacheStats
+    return CacheStats(name="sim.compile", capacity=_cache_capacity(),
+                      size=len(_CACHE), hits=_STATS["hits"],
+                      misses=_STATS["misses"], evictions=_STATS["evictions"])
+
+
+def _register_stats() -> None:
+    from repro.obs.cachestats import register_cache
+    register_cache("sim.compile", _cache_stats)
+
+
+_register_stats()
 
 
 __all__ = ["CompiledArtifacts", "clear_compile_cache", "compile_cache_size",

@@ -63,6 +63,8 @@ class CompiledSimulator:
         self._values: List[int] = []
         self._mems: List[List[int]] = [[0] * depth
                                        for depth in self.lowered.mem_depths]
+        #: Opt-in :class:`repro.obs.simprofile.SimProfiler`; None = no cost.
+        self.profiler = None
         self._pending: List[bool] = []
         self._dirty: List[int] = []
         self.cycle = 0
@@ -184,18 +186,46 @@ class CompiledSimulator:
                     (self._slot_of[flat_name], outputs.get(port, 0) & masks[port])
                 )
 
-        for slot, value in reg_updates.items():
-            self._write_external(slot, value)
-        for mem_index, address, data in mem_updates:
-            storage = self._mems[mem_index]
-            if 0 <= address < len(storage):
-                masked = data & self._mem_masks[mem_index]
-                if storage[address] != masked:
-                    storage[address] = masked
-                    for reader in self._mem_fanout[mem_index]:
-                        self._mark_assign(reader)
-        for slot, value in external_updates:
-            self._write_external(slot, value)
+        profiler = self.profiler
+        if profiler is None:
+            for slot, value in reg_updates.items():
+                self._write_external(slot, value)
+            for mem_index, address, data in mem_updates:
+                storage = self._mems[mem_index]
+                if 0 <= address < len(storage):
+                    masked = data & self._mem_masks[mem_index]
+                    if storage[address] != masked:
+                        storage[address] = masked
+                        for reader in self._mem_fanout[mem_index]:
+                            self._mark_assign(reader)
+            for slot, value in external_updates:
+                self._write_external(slot, value)
+        else:
+            # Profiled path: same architectural events as the interpreter —
+            # value changes per update, committed in-bounds memory writes
+            # (counted even when the stored word is unchanged, matching the
+            # interpreter's unconditional store).
+            names = self.lowered.slots.names
+            mem_names = self.lowered.mem_names
+            profiler.begin_edge()
+            for slot, value in reg_updates.items():
+                if self._values[slot] != value:
+                    profiler.on_reg(names[slot])
+                self._write_external(slot, value)
+            for mem_index, address, data in mem_updates:
+                storage = self._mems[mem_index]
+                if 0 <= address < len(storage):
+                    profiler.on_mem_write(mem_names[mem_index], address)
+                    masked = data & self._mem_masks[mem_index]
+                    if storage[address] != masked:
+                        storage[address] = masked
+                        for reader in self._mem_fanout[mem_index]:
+                            self._mark_assign(reader)
+            for slot, value in external_updates:
+                if self._values[slot] != value:
+                    profiler.on_reg(names[slot])
+                self._write_external(slot, value)
+            profiler.end_edge()
         self.cycle += 1
 
     def step(self, cycles: int = 1) -> None:

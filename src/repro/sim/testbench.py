@@ -16,8 +16,9 @@ import numpy as np
 
 from repro.ir.errors import SimulationError
 from repro.hir.types import MemrefType
+from repro.obs.tracer import TRACER
 from repro.sim.verilog_sim import ExternalModel, Simulator
-from repro.sim.engine import create_simulator
+from repro.sim.engine import create_simulator, get_default_engine
 from repro.verilog.ast import Design
 
 
@@ -107,6 +108,9 @@ class SimulationRun:
     results: Dict[str, int] = field(default_factory=dict)
     memories: Dict[str, InterfaceMemory] = field(default_factory=dict)
     simulator: Optional[Simulator] = None
+    #: The run's :class:`repro.obs.simprofile.SimProfile` when it was
+    #: profiled (``run_design_impl(..., profiler=...)``).
+    profile: Optional[object] = None
 
     def memory_array(self, name: str) -> np.ndarray:
         return self.memories[name].as_array()
@@ -121,6 +125,7 @@ def run_design_impl(
     max_cycles: int = 100000,
     drain_cycles: int = 4,
     engine: Optional[str] = None,
+    profiler=None,
 ) -> SimulationRun:
     """Run a generated design from ``start`` until its ``done`` pulse.
 
@@ -128,12 +133,16 @@ def run_design_impl(
     data)``; ``scalar_inputs`` provides values for primitive arguments.
     ``engine`` selects the simulation engine (``"interpreted"``,
     ``"compiled"`` or ``"differential"``; default: the process-wide default,
-    see :func:`repro.sim.engine.set_default_engine`).  This is the
-    non-deprecated core that :meth:`repro.flow.Flow.simulate` drives.
+    see :func:`repro.sim.engine.set_default_engine`).  ``profiler`` is an
+    optional :class:`repro.obs.simprofile.SimProfiler`; the run then carries
+    its profile in ``SimulationRun.profile``.  This is the non-deprecated
+    core that :meth:`repro.flow.Flow.simulate` drives.
     """
     simulator = create_simulator(design, top=top,
                                  external_models=external_models,
                                  engine=engine)
+    if profiler is not None:
+        profiler.bind(simulator)
     interface_memories: Dict[str, InterfaceMemory] = {}
     for name, (memref_type, initial) in (memories or {}).items():
         interface_memories[name] = InterfaceMemory(name, memref_type, initial)
@@ -146,25 +155,35 @@ def run_design_impl(
     results: Dict[str, int] = {}
     remaining_drain = drain_cycles
 
-    for cycle in range(max_cycles):
-        simulator.set("start", 1 if cycle == 0 else 0)
-        simulator.eval_comb()
-        for memory in interface_memories.values():
-            memory.sample(simulator)
-        if not done_seen and simulator.get("done"):
-            done_seen = True
-            done_cycle = cycle
-            for name in simulator.flat.outputs:
-                if name.startswith("result"):
-                    results[name] = simulator.get(name)
-        simulator.clock_edge()
-        for memory in interface_memories.values():
-            memory.commit(simulator)
-        if done_seen:
-            # Let writes scheduled after the done pulse drain for a few cycles.
-            if remaining_drain == 0:
-                break
-            remaining_drain -= 1
+    with TRACER.span("sim.run", cat="sim",
+                     engine=engine or get_default_engine()) as sim_span:
+        for cycle in range(max_cycles):
+            simulator.set("start", 1 if cycle == 0 else 0)
+            simulator.eval_comb()
+            for memory in interface_memories.values():
+                memory.sample(simulator)
+            if not done_seen and simulator.get("done"):
+                done_seen = True
+                done_cycle = cycle
+                for name in simulator.flat.outputs:
+                    if name.startswith("result"):
+                        results[name] = simulator.get(name)
+            if profiler is not None:
+                for memory in interface_memories.values():
+                    profiler.on_port(memory.prefix,
+                                     memory._pending_read is not None,
+                                     memory._pending_write is not None)
+            simulator.clock_edge()
+            for memory in interface_memories.values():
+                memory.commit(simulator)
+            if done_seen:
+                # Let writes scheduled after the done pulse drain for a few
+                # cycles.
+                if remaining_drain == 0:
+                    break
+                remaining_drain -= 1
+        sim_span.set(cycles=done_cycle + 1 if done_seen else max_cycles,
+                     done=done_seen)
 
     return SimulationRun(
         cycles=done_cycle + 1 if done_seen else max_cycles,
@@ -172,6 +191,8 @@ def run_design_impl(
         results=results,
         memories=interface_memories,
         simulator=simulator,
+        profile=(profiler.finish(engine or get_default_engine())
+                 if profiler is not None else None),
     )
 
 

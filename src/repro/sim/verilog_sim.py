@@ -275,6 +275,8 @@ class Simulator:
         self.signals: Dict[str, int] = {}
         self.memories: Dict[str, List[int]] = {}
         self.cycle = 0
+        #: Opt-in :class:`repro.obs.simprofile.SimProfiler`; None = no cost.
+        self.profiler = None
         self._ordered_assigns = order_assigns(self.flat.assigns)
         self.reset()
 
@@ -413,15 +415,38 @@ class Simulator:
                 width = self.flat.regs.get(flat, (32, 0))[0]
                 external_updates.append((flat, _mask(outputs.get(port, 0), width)))
 
-        for name, value in reg_updates.items():
-            self.signals[name] = value
-        for memory, address, data in mem_updates:
-            storage = self.memories[memory]
-            if 0 <= address < len(storage):
-                width = self.flat.memories[memory][0]
-                storage[address] = _mask(data, width)
-        for name, value in external_updates:
-            self.signals[name] = value
+        profiler = self.profiler
+        if profiler is None:
+            for name, value in reg_updates.items():
+                self.signals[name] = value
+            for memory, address, data in mem_updates:
+                storage = self.memories[memory]
+                if 0 <= address < len(storage):
+                    width = self.flat.memories[memory][0]
+                    storage[address] = _mask(data, width)
+            for name, value in external_updates:
+                self.signals[name] = value
+        else:
+            # Profiled path: count architectural events — a register value
+            # *change* per update (in apply order, so engines agree even when
+            # regs and external models race on one target) and every
+            # committed in-bounds memory write.
+            profiler.begin_edge()
+            for name, value in reg_updates.items():
+                if self.signals.get(name, 0) != value:
+                    profiler.on_reg(name)
+                self.signals[name] = value
+            for memory, address, data in mem_updates:
+                storage = self.memories[memory]
+                if 0 <= address < len(storage):
+                    width = self.flat.memories[memory][0]
+                    storage[address] = _mask(data, width)
+                    profiler.on_mem_write(memory, address)
+            for name, value in external_updates:
+                if self.signals.get(name, 0) != value:
+                    profiler.on_reg(name)
+                self.signals[name] = value
+            profiler.end_edge()
         self.cycle += 1
 
     def step(self, cycles: int = 1) -> None:

@@ -1,0 +1,64 @@
+"""Artifact provenance: cached fetches report fetch time, not build time.
+
+Satellite regression: a cache hit used to return the artifact with the
+original ``seconds`` — so ``repro build`` after a warm cache printed the
+cold-build latency as if the fetch had cost that much.  Cached artifacts
+now keep the original build ``seconds`` *and* carry the (tiny)
+``fetch_seconds`` of the lookup, and the repr spells out which is which.
+"""
+
+import pytest
+
+from repro.flow import Flow
+from repro.kernels import build_kernel
+
+
+@pytest.fixture
+def flow():
+    return Flow(build_kernel("transpose", size=4))
+
+
+@pytest.mark.tier1
+class TestCachedTiming:
+    def test_fresh_build_has_no_fetch_seconds(self, flow):
+        artifact = flow.hir()
+        assert not artifact.cached
+        assert artifact.fetch_seconds is None
+        assert artifact.seconds > 0
+
+    def test_cached_fetch_keeps_build_seconds(self, flow):
+        cold = flow.hir()
+        warm = flow.hir()
+        assert warm.cached
+        assert warm.seconds == cold.seconds
+        assert warm.fetch_seconds is not None
+        # A dict lookup, not a rebuild: orders of magnitude under the build.
+        assert warm.fetch_seconds < 0.01
+
+    def test_repr_distinguishes_build_from_fetch(self, flow):
+        cold = flow.verilog()
+        assert "built in" in repr(cold)
+        assert "cached" not in repr(cold)
+        warm = flow.verilog()
+        assert "cached; built in" in repr(warm)
+        assert "fetched in" in repr(warm)
+
+
+class TestProvenance:
+    def test_simulate_provenance_names_engine_and_seed(self, flow):
+        artifact = flow.simulate(seed=3, engine="interpreted")
+        provenance = dict(artifact.provenance)
+        assert provenance["engine"] == "interpreted"
+        assert provenance["seed"] == "3"
+        assert provenance["verilog"] == flow.verilog().fingerprint
+
+    def test_repr_includes_provenance(self, flow):
+        artifact = flow.simulate(seed=3, engine="interpreted")
+        assert "engine=interpreted" in repr(artifact)
+        assert "seed=3" in repr(artifact)
+
+    def test_provenance_fingerprints_are_truncated_in_repr(self, flow):
+        artifact = flow.simulate(seed=0, engine="interpreted")
+        verilog_fp = dict(artifact.provenance)["verilog"]
+        assert verilog_fp[:12] in repr(artifact)
+        assert verilog_fp not in repr(artifact)

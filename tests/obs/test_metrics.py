@@ -1,0 +1,116 @@
+"""The versioned BENCH_*.json schema and its CI smoke validator."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    SCHEMA_VERSION,
+    bench_payload,
+    main,
+    validate_bench_file,
+    validate_bench_payload,
+)
+
+
+class TestBenchPayload:
+    def test_envelope_fields(self):
+        payload = bench_payload([{"name": "gemm", "seconds": 0.5}],
+                                unix_time=123.0)
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["unix_time"] == 123.0
+        assert isinstance(payload["python"], str)
+        assert isinstance(payload["platform"], str)
+
+    def test_records_sorted_by_name(self):
+        payload = bench_payload([{"name": "zeta", "x": 1},
+                                 {"name": "alpha", "x": 2}])
+        assert [r["name"] for r in payload["records"]] == ["alpha", "zeta"]
+
+    def test_payload_validates_clean(self):
+        payload = bench_payload([{"name": "gemm", "cycles": 53,
+                                  "engine": "batched", "ok": True}])
+        assert validate_bench_payload(payload) == []
+
+    def test_payload_is_json_serializable(self):
+        payload = bench_payload([{"name": "gemm", "seconds": 0.5}])
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_bench_payload([1, 2]) != []
+
+    def test_rejects_unknown_schema(self):
+        payload = bench_payload([])
+        payload["schema"] = 99
+        assert any("schema" in e for e in validate_bench_payload(payload))
+
+    def test_accepts_legacy_schema_1_without_sort_guarantee(self):
+        payload = bench_payload([{"name": "b"}, {"name": "a"}])
+        payload["schema"] = 1
+        payload["records"] = [{"name": "b"}, {"name": "a"}]
+        assert validate_bench_payload(payload) == []
+
+    def test_schema_2_requires_sorted_records(self):
+        payload = bench_payload([])
+        payload["records"] = [{"name": "b"}, {"name": "a"}]
+        assert any("sorted" in e for e in validate_bench_payload(payload))
+
+    def test_rejects_record_without_name(self):
+        payload = bench_payload([])
+        payload["records"] = [{"seconds": 1.0}]
+        assert any("name" in e for e in validate_bench_payload(payload))
+
+    def test_rejects_non_scalar_metric(self):
+        payload = bench_payload([])
+        payload["records"] = [{"name": "gemm", "series": [1, 2, 3]}]
+        assert any("int/float/str/bool" in e
+                   for e in validate_bench_payload(payload))
+
+    def test_missing_envelope_fields_reported(self):
+        errors = validate_bench_payload({"schema": SCHEMA_VERSION,
+                                         "records": []})
+        assert any("unix_time" in e for e in errors)
+        assert any("python" in e for e in errors)
+
+
+class TestFileAndCli:
+    @pytest.fixture
+    def valid_file(self, tmp_path):
+        path = tmp_path / "BENCH_sim.json"
+        path.write_text(json.dumps(
+            bench_payload([{"name": "gemm", "seconds": 0.5}])))
+        return str(path)
+
+    @pytest.fixture
+    def invalid_file(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"schema": 99, "records": "nope"}))
+        return str(path)
+
+    def test_validate_bench_file_ok(self, valid_file):
+        assert validate_bench_file(valid_file) == []
+
+    def test_validate_bench_file_prefixes_path(self, invalid_file):
+        errors = validate_bench_file(invalid_file)
+        assert errors and all(e.startswith(invalid_file) for e in errors)
+
+    def test_validate_bench_file_unparseable(self, tmp_path):
+        path = tmp_path / "BENCH_broken.json"
+        path.write_text("{not json")
+        assert any("cannot read/parse" in e
+                   for e in validate_bench_file(str(path)))
+
+    def test_cli_ok_exit_zero(self, valid_file, capsys):
+        assert main([valid_file]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_cli_invalid_exit_one(self, valid_file, invalid_file, capsys):
+        assert main([valid_file, invalid_file]) == 1
+        captured = capsys.readouterr()
+        assert "INVALID" in captured.err
+
+    def test_cli_no_args_exit_two(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().err

@@ -1,0 +1,88 @@
+"""Tier-1 guard: tracing must be ~free on the simulation hot path.
+
+The contract of :mod:`repro.obs` is that instrumentation lives at *run*
+granularity, never per clock edge: a simulation records one ``sim.run``
+span, and every per-edge hook hides behind a ``profiler is None`` check.
+This test measures GEMM simulation with the tracer disabled against the
+tracer enabled (interleaved min-of-N, same process, same design and
+compiled artifacts) and fails if enabling costs more than 2% plus a small
+absolute epsilon — i.e. if someone lands a TRACER call inside the cycle
+loop, where an enabled tracer would take its lock tens of thousands of
+times per run.
+"""
+
+import time
+
+import pytest
+
+from repro.kernels import build_kernel
+from repro.obs.tracer import TRACER
+from repro.sim.testbench import run_design_impl
+
+REPEATS = 7
+OVERHEAD_BUDGET = 0.02
+#: Absolute slack (seconds) so scheduler noise on a ~10 ms run cannot flake
+#: the relative comparison.
+EPSILON = 0.003
+
+
+def _min_seconds(design, memories, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run = run_design_impl(design, memories=dict(memories),
+                              engine="interpreted")
+        best = min(best, time.perf_counter() - start)
+        assert run.done
+    return best
+
+
+@pytest.mark.tier1
+def test_disabled_tracer_overhead_under_two_percent():
+    artifacts = build_kernel("gemm", size=4)
+    design = artifacts.flow().design
+    inputs = artifacts.make_inputs(0)
+    memories = {name: (memref_type, inputs[name])
+                for name, memref_type in artifacts.interfaces.items()}
+
+    assert not TRACER.enabled
+
+    # Warm every lazy path (elaboration cache, numpy imports) before timing.
+    _min_seconds(design, memories, repeats=1)
+
+    # Interleave the two measurement sets so frequency scaling or background
+    # load hits both the same way.
+    disabled = enabled = float("inf")
+    for _ in range(REPEATS):
+        disabled = min(disabled, _min_seconds(design, memories, repeats=1))
+        with TRACER.activated(True):
+            enabled = min(enabled, _min_seconds(design, memories, repeats=1))
+            TRACER.clear()
+
+    assert enabled <= disabled * (1 + OVERHEAD_BUDGET) + EPSILON, (
+        f"enabling the tracer costs more than the 2% budget on a GEMM "
+        f"simulate: disabled {disabled * 1e3:.2f} ms, "
+        f"enabled {enabled * 1e3:.2f} ms"
+    )
+
+
+@pytest.mark.tier1
+def test_enabled_tracer_records_without_changing_results():
+    artifacts = build_kernel("gemm", size=3)
+    design = artifacts.flow().design
+    inputs = artifacts.make_inputs(0)
+    memories = {name: (memref_type, inputs[name])
+                for name, memref_type in artifacts.interfaces.items()}
+
+    baseline = run_design_impl(design, memories=dict(memories),
+                               engine="interpreted")
+    with TRACER.activated(True):
+        TRACER.clear()
+        traced = run_design_impl(design, memories=dict(memories),
+                                 engine="interpreted")
+        names = {span["name"] for span in TRACER.spans}
+    TRACER.clear()
+    assert traced.cycles == baseline.cycles
+    assert "sim.run" in names
+    for name, memory in baseline.memories.items():
+        assert (traced.memories[name].as_array() == memory.as_array()).all()
