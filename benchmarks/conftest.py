@@ -29,12 +29,12 @@ def record_benchmark(name, **metrics):
 
 def write_bench_json(path, records):
     """Emit records in the versioned envelope of :mod:`repro.obs.metrics`
-    (CI validates every emitted file against that schema)."""
+    (CI validates every emitted file against that schema).  Published
+    atomically so an interrupted run never leaves a torn artifact for CI
+    to upload."""
     from repro.obs.metrics import bench_payload
-    with open(path, "w") as handle:
-        json.dump(bench_payload(records), handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return path
+    from repro.store.io import atomic_write_json
+    return atomic_write_json(path, bench_payload(records))
 
 
 def pytest_sessionstart(session):

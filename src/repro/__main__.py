@@ -12,12 +12,21 @@ Subcommands mirror the :class:`repro.flow.Flow` stages:
 * ``fuzz``      — differential fuzzing: random HIR programs cross-checked
   over pipelines, engines, composition and the Flow stage cache.
 * ``stats``     — run a representative workload and report every registered
-  cache (hit rates, capacities) plus the DSE exploration counters.
+  cache (hit rates, capacities) plus the DSE exploration and resilience
+  counters.
+* ``store``     — inspect and maintain the persistent artifact store
+  (``stats``/``verify``/``gc``/``clear``); see :mod:`repro.store`.
 
 Observability: ``--trace FILE`` (on build/simulate/sweep/compose/stats)
 writes a Chrome ``trace_event`` JSON of the whole run — load it in
 ui.perfetto.dev or chrome://tracing.  ``--profile`` (simulate/sweep/compose)
 collects and prints the per-op simulation profile.
+
+Robustness: every ``REPRO_*`` variable is validated before dispatch (a typo
+exits with a one-line error instead of silently reverting to a default), and
+a ``REPRO_FAULT_PLAN`` fault-injection plan (see :mod:`repro.resilience`)
+applies to the whole command.  File outputs (``-o``, ``--trace``) are
+published atomically — an interrupted command never leaves a torn file.
 
 Kernel size parameters are passed as repeated ``-p key=value`` options::
 
@@ -92,11 +101,12 @@ def _cmd_list(arguments) -> int:
 
 
 def _cmd_build(arguments) -> int:
+    from repro.store.io import atomic_write_text
+
     flow = _kernel_flow(arguments)
     verilog = flow.verilog()
     if arguments.output:
-        with open(arguments.output, "w") as handle:
-            handle.write(verilog.value.text)
+        atomic_write_text(arguments.output, verilog.value.text)
         print(f"wrote {len(verilog.value.text.splitlines())} lines of Verilog "
               f"to {arguments.output}")
     else:
@@ -276,8 +286,57 @@ def _cmd_stats(arguments) -> int:
         print("\nDSE counters:")
         for name, value in dse_counters.items():
             print(f"  {name:<24} {int(value)}")
+    _print_resilience_counters()
     if arguments.tree:
         print(f"\n{stats_tree(TRACER)}")
+    return 0
+
+
+def _print_resilience_counters() -> None:
+    """Store activity and fault/recovery counters (always-on, process-wide)."""
+    from repro.resilience import resilience_counters
+    from repro.store.store import store_counters
+
+    store = {f"store.{name}": value
+             for name, value in sorted(store_counters().items()) if value}
+    recovery = dict(sorted(resilience_counters().items()))
+    if store:
+        print("\nstore counters:")
+        for name, value in store.items():
+            print(f"  {name:<24} {value}")
+    if recovery:
+        print("\nresilience counters:")
+        for name, value in recovery.items():
+            print(f"  {name:<24} {value}")
+
+
+def _cmd_store(arguments) -> int:
+    from repro.store import default_store, get_store
+
+    store = (get_store(arguments.dir) if arguments.dir
+             else default_store())
+    if store is None:
+        print("error: no artifact store configured; set REPRO_STORE_DIR or "
+              "pass --dir", file=sys.stderr)
+        return 2
+    action = arguments.action
+    if action == "stats":
+        print(store.stats().render())
+        return 0
+    if action == "verify":
+        report = store.verify()
+        print(report.render())
+        return 0 if report.ok else 1
+    if action == "gc":
+        if arguments.max_bytes is None and arguments.max_blobs is None:
+            print("error: gc needs --max-bytes and/or --max-blobs",
+                  file=sys.stderr)
+            return 2
+        print(store.gc(max_bytes=arguments.max_bytes,
+                       max_blobs=arguments.max_blobs).render())
+        return 0
+    removed = store.clear()
+    print(f"cleared {removed} blob(s) from {store.root}")
     return 0
 
 
@@ -389,7 +448,8 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default fuzz-failures/)")
     fuzz.add_argument("--oracles", default=None,
                       help="comma-separated subset of: pipeline, engines, "
-                           "compose, flow-cache, profile (default: all)")
+                           "compose, flow-cache, profile, faults "
+                           "(default: all)")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="report raw failures without minimizing them")
     fuzz.add_argument("--no-repro", action="store_true",
@@ -413,16 +473,38 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_options(stats, profile=False)
     stats.set_defaults(handler=_cmd_stats)
 
+    store = subparsers.add_parser(
+        "store",
+        help="inspect and maintain the persistent artifact store")
+    store.add_argument("action",
+                       choices=("stats", "verify", "gc", "clear"),
+                       help="stats: contents summary; verify: checksum every "
+                            "blob (quarantining corrupt ones); gc: evict "
+                            "least-recently-used blobs down to a budget; "
+                            "clear: remove every blob")
+    store.add_argument("--dir", default=None,
+                       help="store directory (default: $REPRO_STORE_DIR)")
+    store.add_argument("--max-bytes", type=int, default=None,
+                       help="gc: keep at most this many payload bytes")
+    store.add_argument("--max-blobs", type=int, default=None,
+                       help="gc: keep at most this many blobs")
+    store.set_defaults(handler=_cmd_store)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse and dispatch; tool errors become one-line messages, not
     tracebacks (the contract ``tests/cli`` pins down)."""
+    from repro.envcheck import environment_error
     from repro.ir.errors import IRError
     from repro.kernels import UnknownKernelError
 
     arguments = build_parser().parse_args(argv)
+    problem = environment_error()
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
     trace_path = getattr(arguments, "trace", None)
     if trace_path:
         # Enable before dispatch so every span of the command — Flow

@@ -83,6 +83,7 @@ ENV_VARS: Dict[str, str] = {
     "REPRO_DSE_EXECUTOR": "dse_executor",
     "REPRO_DSE_MEMO_SIZE": "dse_memo_size",
     "REPRO_SIM_CACHE_SIZE": "sim_cache_size",
+    "REPRO_STORE_DIR": "store_dir",
 }
 
 
@@ -127,6 +128,17 @@ class FlowConfig:
     dse_memo_size: Optional[int] = None
     #: Simulator compile-cache bound (None: REPRO_SIM_CACHE_SIZE env).
     sim_cache_size: Optional[int] = None
+    #: Persistent artifact store root (:mod:`repro.store`): ``None`` inherits
+    #: ``REPRO_STORE_DIR``, ``""`` disables persistence explicitly.  When a
+    #: store resolves, the optimized-IR, Verilog-text, resource-report and
+    #: compiled-simulator-source stages read through to disk and publish
+    #: their results, so a cold process re-running a warm design skips the
+    #: pass pipeline, emission and simulator codegen.
+    store_dir: Optional[str] = None
+    #: Fall back from a failing compiled engine to the interpreted engine
+    #: (one retry; counted as ``flow.engine_fallback``).  Divergence findings
+    #: from the differential engine are never swallowed.
+    engine_fallback: bool = True
     #: Observability: enable the process tracer (:data:`repro.obs.TRACER`)
     #: for the duration of every stage build and simulation of this flow.
     trace: bool = False
@@ -180,6 +192,8 @@ class FlowConfig:
                     pass
         if "REPRO_DSE_EXECUTOR" in env:
             values["dse_executor"] = env["REPRO_DSE_EXECUTOR"]
+        if "REPRO_STORE_DIR" in env:
+            values["store_dir"] = env["REPRO_STORE_DIR"]
         values.update(overrides)
         return cls(**values)
 
@@ -209,6 +223,19 @@ class FlowConfig:
         if self.dse_executor is not None:
             kwargs["executor"] = self.dse_executor
         return HLSOptions(**kwargs)
+
+    def resolve_store(self):
+        """The :class:`repro.store.ArtifactStore` this config persists to.
+
+        ``store_dir`` set → that directory; ``store_dir=""`` → ``None``
+        (persistence off); ``store_dir=None`` → the ``REPRO_STORE_DIR``
+        environment store, if any.
+        """
+        from repro.store import get_store
+        if self.store_dir is not None:
+            return get_store(self.store_dir) if self.store_dir.strip() else None
+        from repro.store import default_store
+        return default_store()
 
     def codegen_options(self):
         from repro.verilog.codegen import CodegenOptions
@@ -689,10 +716,32 @@ class Flow:
                 # Verification does not mutate; run it on the source module.
                 self._build_manager().run(self.module)
                 return self.module, _time.perf_counter() - start
+            # Disk tier: an optimizing pipeline's output is a deterministic,
+            # round-trippable function of (source content, pipeline config),
+            # so a store hit replaces the whole pass pipeline with a parse.
+            # Blobs are printed with_locations so the parsed module carries
+            # the original source locations — Verilog regenerated from it is
+            # byte-identical, location comments included.
+            store = self.config.resolve_store()
+            store_key = (f"{parent.fingerprint}-{pipeline}-"
+                         f"{int(self.config.verify_each)}")
+            if store is not None:
+                text = store.get_text("ir", store_key)
+                if text is not None:
+                    try:
+                        from repro.ir.parser import parse_module
+                        module = parse_module(text, filename="<store:ir>")
+                        return module, _time.perf_counter() - start
+                    except IRError:
+                        pass    # unparsable blob: rebuild (and re-publish)
             clone = self.module.clone()
             manager = self._build_manager()
             manager.run(clone)
             self._pass_report = manager.timing_report()
+            if store is not None:
+                from repro.ir.printer import print_module
+                store.put("ir", store_key,
+                          print_module(clone, with_locations=True))
             return clone, _time.perf_counter() - start
 
         return self._stage("optimized", key, parent.fingerprint, provenance,
@@ -725,20 +774,58 @@ class Flow:
                                            options=options)
             value = VerilogArtifact(design=result.design,
                                     statistics=dict(result.statistics))
+            # Disk tier: preload (or publish) the emitted text, so `.text`
+            # costs a checksum-verified read instead of a full emission.
+            store = self.config.resolve_store()
+            if store is not None:
+                store_key = self._design_key(fingerprint)
+                text = store.get_text("verilog", store_key)
+                if text is not None:
+                    value._text = text
+                else:
+                    store.put("verilog", store_key, value.text)
             return value, _time.perf_counter() - start
 
         return self._stage("verilog", key, fingerprint, provenance, build)
 
+    def _design_key(self, fingerprint: str) -> str:
+        """The persistent-store key for design-level artifacts: the module
+        content fingerprint plus everything else that shapes the design."""
+        options = self.config.codegen_options()
+        return (f"{fingerprint}-{self.top}-{self.config.pipeline}-"
+                f"{int(self.config.verify_each)}"
+                f"{int(options.emit_location_comments)}"
+                f"{int(options.emit_assertions)}")
+
     def resources(self):
         """Estimate FPGA resources of the generated design."""
-        from repro.resources.model import estimate_resources
+        import json
+        from repro.resources.model import ResourceReport, estimate_resources
         parent = self.verilog()
         key = (parent.fingerprint,)
         provenance = (("verilog", parent.fingerprint),)
 
         def build():
             start = _time.perf_counter()
+            store = self.config.resolve_store()
+            store_key = self._design_key(parent.fingerprint)
+            if store is not None:
+                text = store.get_text("resources", store_key)
+                if text is not None:
+                    try:
+                        raw = json.loads(text)
+                        report = ResourceReport(
+                            lut=raw["lut"], ff=raw["ff"],
+                            dsp=raw["dsp"], bram=raw["bram"])
+                        return report, _time.perf_counter() - start
+                    except (ValueError, KeyError, TypeError):
+                        pass    # malformed blob: rebuild (and re-publish)
             report = estimate_resources(parent.value.design)
+            if store is not None:
+                store.put("resources", store_key, json.dumps(
+                    {"lut": report.lut, "ff": report.ff,
+                     "dsp": report.dsp, "bram": report.bram},
+                    sort_keys=True))
             return report, _time.perf_counter() - start
 
         return self._stage("resources", key, parent.fingerprint, provenance,
@@ -814,25 +901,41 @@ class Flow:
         if self.config.profile if profile is None else profile:
             from repro.obs.simprofile import SimProfiler
             profiler = SimProfiler()
-        start = _time.perf_counter()
-        with TRACER.activated(self.config.trace), \
-                TRACER.span("flow.simulate", cat="flow", flow=self.name,
-                            engine=engine_name, seed=seed,
-                            fingerprint=design_artifact.fingerprint[:12]), \
-                self.config.limits():
-            run = run_design_impl(
+        # Persist generated simulator sources only for pure designs:
+        # external models change elaboration in ways the design key cannot
+        # see, so those compiles stay private to this process.
+        store = None if self.external_models else self.config.resolve_store()
+        from repro.sim.engine.cache import persist_compiled
+
+        def run_engine(name):
+            return run_design_impl(
                 design_artifact.value.design,
-                memories={name: (memref_type, resolved[name])
-                          for name, memref_type in self.interfaces.items()},
+                memories={name_: (memref_type, resolved[name_])
+                          for name_, memref_type in self.interfaces.items()},
                 scalar_inputs=scalars,
                 external_models=self.external_models or None,
                 drain_cycles=(self.config.drain_cycles if drain_cycles is None
                               else drain_cycles),
                 max_cycles=(self.config.max_cycles if max_cycles is None
                             else max_cycles),
-                engine=engine_name,
+                engine=name,
                 profiler=profiler,
             )
+
+        start = _time.perf_counter()
+        with TRACER.activated(self.config.trace), \
+                TRACER.span("flow.simulate", cat="flow", flow=self.name,
+                            engine=engine_name, seed=seed,
+                            fingerprint=design_artifact.fingerprint[:12]), \
+                self.config.limits(), \
+                persist_compiled(store,
+                                 self._design_key(design_artifact.fingerprint)):
+            try:
+                run = run_engine(engine_name)
+            except Exception as error:
+                engine_name = self._fallback_engine(engine_name, error)
+                run = run_engine(engine_name)
+                provenance += (("fallback", "interpreted"),)
         seconds = _time.perf_counter() - start
         if run.profile is not None and self.graph is not None:
             run.profile.bind_stream_edges(
@@ -843,6 +946,30 @@ class Flow:
         return Artifact(stage="simulate", value=outcome, seconds=seconds,
                         fingerprint=design_artifact.fingerprint,
                         provenance=provenance)
+
+    def _fallback_engine(self, engine_name: str, error: Exception) -> str:
+        """Decide the engine-fallback chain: compiled → interpreted.
+
+        Only compile-side failures (simulation/lowering errors, injected
+        faults) fall back, and only when the failing engine is not already
+        the interpreter.  A :class:`DivergenceError` is a *finding* of the
+        differential engine, never a reason to retry.  Anything else —
+        Flow misconfiguration, stimulus errors, MemoryError — re-raises.
+        """
+        from repro.ir.errors import LoweringError, SimulationError
+        from repro.resilience import InjectedFault, bump
+        from repro.sim.engine.differential import DivergenceError
+        if (not self.config.engine_fallback
+                or engine_name == "interpreted"
+                or isinstance(error, DivergenceError)
+                or not isinstance(error, (SimulationError, LoweringError,
+                                          InjectedFault))):
+            raise error
+        bump("flow.engine_fallback")
+        TRACER.count("flow.engine_fallback")
+        TRACER.event("flow.engine_fallback", cat="flow", flow=self.name,
+                     failed=engine_name, error=type(error).__name__)
+        return "interpreted"
 
     def simulate_batch(self, seeds: Optional[Iterable[int]] = None, *,
                        inputs_per_lane: Optional[Sequence[Mapping[str, Any]]] = None,
@@ -869,12 +996,16 @@ class Flow:
         if self.config.profile if profile is None else profile:
             from repro.obs.simprofile import BatchSimProfiler
             profiler = BatchSimProfiler()
+        from repro.sim.engine.cache import persist_compiled
+        store = None if self.external_models else self.config.resolve_store()
         start = _time.perf_counter()
         with TRACER.activated(self.config.trace), \
                 TRACER.span("flow.simulate_batch", cat="flow",
                             flow=self.name, lanes=len(lanes),
                             fingerprint=design_artifact.fingerprint[:12]), \
-                self.config.limits():
+                self.config.limits(), \
+                persist_compiled(store,
+                                 self._design_key(design_artifact.fingerprint)):
             run = run_design_batch_impl(
                 design_artifact.value.design,
                 memories={name: (memref_type,

@@ -36,6 +36,15 @@ paths and demands equivalence:
     bit-identical — per-op firings, per-cycle event histogram, port
     occupancy, memory write traffic — across the interpreted, compiled and
     batched engines (:meth:`repro.obs.simprofile.SimProfile.signature`).
+``faults``
+    Crash-safety (:mod:`repro.store` / :mod:`repro.resilience`): the flow
+    runs under a matrix of seeded fault plans — injected I/O errors, torn
+    writes, bit-flipped payloads, failed fsyncs/renames/locks, engine
+    compile failures.  Each faulted run must either fail with a clean typed
+    error or produce byte-identical Verilog and identical simulation
+    results; and a fault-free session over the *same* (possibly damaged)
+    persistent store must always reproduce the baseline bytes — no fault
+    may poison the store into serving a wrong artifact.
 
 Every check is pure with respect to the spec: oracles materialize their own
 modules and never mutate the spec, so the shrinker can re-run them freely.
@@ -60,7 +69,21 @@ from repro.verilog.emitter import emit_design
 
 #: Oracle names in the order they run.
 ORACLES: Tuple[str, ...] = ("pipeline", "engines", "compose", "flow-cache",
-                            "profile")
+                            "profile", "faults")
+
+#: The seeded fault-plan matrix the ``faults`` oracle (and the CI chaos job)
+#: sweeps: every fault point of the store's publish/read path plus the
+#: engine-compile fallback, one plan at a time.
+FAULT_PLAN_MATRIX: Tuple[str, ...] = (
+    "store.write:io_error",
+    "store.write:torn@2",
+    "store.write:corrupt",
+    "store.fsync:io_error",
+    "store.rename:io_error",
+    "store.read:io_error*3",
+    "store.lock:io_error*2",
+    "engine.compile:error",
+)
 
 #: Stimulus lanes the engine oracle drives through the batched engine.
 DEFAULT_LANES = 3
@@ -489,6 +512,105 @@ def check_profile(spec: ProgramSpec) -> Optional[OracleFailure]:
     return None
 
 
+def check_faults(spec: ProgramSpec,
+                 plans: Sequence[str] = FAULT_PLAN_MATRIX
+                 ) -> Optional[OracleFailure]:
+    """Injected faults must never change what the toolchain produces.
+
+    For every plan in :data:`FAULT_PLAN_MATRIX` the whole flow (optimize →
+    Verilog → compiled simulation, persisting through a fresh
+    :class:`repro.store.ArtifactStore`) runs twice over one store directory:
+
+    1. *under the fault plan* — the run must either raise a clean typed
+       error (:class:`~repro.ir.errors.IRError` subclass or an
+       :class:`~repro.resilience.InjectedFault`) or produce byte-identical
+       Verilog and identical cycle counts / output memories;
+    2. *fault-free, same store* — whatever damage the faulted session left
+       behind (torn temp files, corrupt blobs, missing fsyncs), a clean
+       session over that store must reproduce the baseline exactly.  A
+       fault may cost a rebuild; it may never poison a served artifact.
+    """
+    import tempfile
+
+    from repro.flow import Flow, FlowConfig
+    from repro.resilience import FaultPlan, FaultPlanError, InjectedFault, \
+        install_plan
+
+    program = materialize(spec)
+    inputs = make_lane_inputs(spec, program.interfaces, program.input_names,
+                              program.output_names, lane=0)
+
+    def run_session(store_dir: str):
+        """One cold toolchain session persisting into ``store_dir``."""
+        flow = Flow(materialize(spec).module, top=program.top,
+                    config=FlowConfig(pipeline="optimize", verify_each=False,
+                                      engine="compiled",
+                                      store_dir=store_dir))
+        verilog = flow.verilog().value.text
+        outcome = flow.simulate(inputs=dict(inputs), max_cycles=MAX_CYCLES,
+                                drain_cycles=16).value
+        if not outcome.run.done:
+            raise IRError(
+                f"design never pulsed done within {MAX_CYCLES} cycles")
+        memories = {name: np.asarray(outcome.memory_array(name)).copy()
+                    for name in program.output_names}
+        return verilog, outcome.run.cycles, memories
+
+    def describe_mismatch(plan: str, label: str, result) -> Optional[str]:
+        verilog, cycles, memories = result
+        if verilog != base_verilog:
+            return (f"plan '{plan}': {label} produced different Verilog:\n"
+                    + _first_diff(base_verilog, verilog, "fault-free", label))
+        if cycles != base_cycles:
+            return (f"plan '{plan}': {label} simulation took {cycles} "
+                    f"cycles, fault-free run took {base_cycles}")
+        for name, expected in base_memories.items():
+            if not np.array_equal(memories[name], expected):
+                return (f"plan '{plan}': {label} output '{name}' differs "
+                        "from the fault-free run")
+        return None
+
+    with tempfile.TemporaryDirectory(prefix="repro-faults-base-") as base_dir:
+        base_verilog, base_cycles, base_memories = run_session(base_dir)
+
+    for plan in plans:
+        try:
+            fault_plan = FaultPlan.parse(plan, seed=spec.seed)
+        except FaultPlanError as error:
+            return OracleFailure("faults", f"unparseable plan '{plan}': "
+                                           f"{error}")
+        with tempfile.TemporaryDirectory(prefix="repro-faults-") as store_dir:
+            failed = None
+            try:
+                with install_plan(fault_plan):
+                    faulted = run_session(store_dir)
+            except (IRError, InjectedFault) as error:
+                failed = error          # a clean typed failure is acceptable
+            except Exception as error:  # noqa: BLE001 - untyped escape IS a bug
+                return OracleFailure(
+                    "faults",
+                    f"plan '{plan}': run under faults escaped with an "
+                    f"untyped {type(error).__name__}: {error}")
+            if failed is None:
+                message = describe_mismatch(plan, "run under faults", faulted)
+                if message is not None:
+                    return OracleFailure("faults", message)
+
+            # Recovery leg: a fault-free session over the same (possibly
+            # damaged) store must always reproduce the baseline bytes.
+            try:
+                recovered = run_session(store_dir)
+            except (IRError, InjectedFault) as error:
+                return OracleFailure(
+                    "faults",
+                    f"plan '{plan}': fault-free recovery session over the "
+                    f"damaged store failed: {type(error).__name__}: {error}")
+            message = describe_mismatch(plan, "recovery session", recovered)
+            if message is not None:
+                return OracleFailure("faults", message)
+    return None
+
+
 # --------------------------------------------------------------------------- #
 # Entry point
 # --------------------------------------------------------------------------- #
@@ -499,6 +621,7 @@ _CHECKS = {
     "compose": check_compose,
     "flow-cache": check_flow_cache,
     "profile": check_profile,
+    "faults": check_faults,
 }
 
 
@@ -529,11 +652,13 @@ def check_program(spec: ProgramSpec,
 
 __all__ = [
     "DEFAULT_LANES",
+    "FAULT_PLAN_MATRIX",
     "MAX_CYCLES",
     "ORACLES",
     "OracleFailure",
     "check_compose",
     "check_engines",
+    "check_faults",
     "check_flow_cache",
     "check_generator",
     "check_pipeline",

@@ -128,16 +128,16 @@ def write_repro(spec: ProgramSpec, failure: OracleFailure, out_dir: str,
     path = os.path.join(out_dir, filename)
     spec_literal = json.dumps(spec.to_dict(), indent=4, sort_keys=True)
     first_line = failure.message.splitlines()[0]
-    with open(path, "w") as handle:
-        handle.write(_REPRO_TEMPLATE.format(
-            seed=spec.seed,
-            oracle=failure.oracle,
-            max_ops=max_ops,
-            message=first_line,
-            filename=os.path.join(out_dir, filename),
-            spec_literal=spec_literal,
-            oracles=tuple(oracles),
-        ))
+    from repro.store.io import atomic_write_text
+    atomic_write_text(path, _REPRO_TEMPLATE.format(
+        seed=spec.seed,
+        oracle=failure.oracle,
+        max_ops=max_ops,
+        message=first_line,
+        filename=os.path.join(out_dir, filename),
+        spec_literal=spec_literal,
+        oracles=tuple(oracles),
+    ))
     return path
 
 

@@ -45,12 +45,19 @@ from __future__ import annotations
 import atexit
 import os
 from collections import OrderedDict
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hls.binding import bind_loop
 from repro.obs.tracer import TRACER
+from repro.resilience.faults import fault_point, bump
 from repro.hls.options import HLSOptions
 from repro.hls.scheduling import (
     DataflowGraph,
@@ -101,6 +108,12 @@ class LoopExploration:
     memo_hits: int = 0
     #: Design points that ran the scheduler (cache misses).
     scheduled: int = 0
+    #: Worker failures (crash, timeout, exception) seen during the sweep.
+    worker_failures: int = 0
+    #: In-process recovery attempts made after worker failures.
+    worker_retries: int = 0
+    #: The sweep lost its process pool and finished serially in-process.
+    degraded: bool = False
 
     @property
     def evaluations(self) -> int:
@@ -255,6 +268,7 @@ def _evaluate_point(body: List[Statement], pipelined: bool, requested_ii: int,
                     attempt_cache: Optional[Dict[int, object]] = None
                     ) -> MemoValue:
     """Schedule + bind one design point (runs in worker threads/processes)."""
+    fault_point("dse.candidate")
     schedule = schedule_loop(body, pipeline=pipelined,
                              requested_ii=requested_ii if pipelined else None,
                              array_ports=ports, graph=graph,
@@ -498,7 +512,17 @@ def _explore_parallel(specs: List[_Spec], exploration: LoopExploration,
         seed = min(specs, key=lambda s: (s.requested_ii, s.lb_cost, s.order))
     else:
         seed = min(specs, key=lambda s: (s.lb_cost, s.order))
-    seed_candidate = _evaluate_spec(seed, exploration, options.memoize)
+    try:
+        seed_candidate = _evaluate_spec(seed, exploration, options.memoize)
+    except KeyboardInterrupt:
+        raise
+    except Exception as error:
+        # The incumbent seed gets the same recovery ladder as pool workers.
+        value = _recover_inprocess(seed, options, exploration, error)
+        exploration.scheduled += 1
+        if options.memoize and seed.graph is not None:
+            _memo_put(seed.memo_key(), value)
+        seed_candidate = _make_candidate(seed, value)
     incumbent.observe(seed_candidate)
 
     survivors: List[_Spec] = []
@@ -562,14 +586,52 @@ def _explore_parallel(specs: List[_Spec], exploration: LoopExploration,
                 for spec, fork in zip(pending, forks)
             ]
         values: Dict[int, MemoValue] = {}
-        for spec, future in zip(pending, futures):
-            value = (_inflate_slim(spec, future.result()) if use_processes
-                     else future.result())
-            exploration.scheduled += 1
-            if options.memoize and spec.graph is not None:
-                _memo_put(spec.memo_key(), value)
-            values[spec.order] = value
-            results[spec.order] = _make_candidate(spec, value)
+        try:
+            broken = False
+            for spec, future in zip(pending, futures):
+                value: Optional[MemoValue] = None
+                failure: Optional[BaseException] = None
+                if broken:
+                    # The pool died earlier in this sweep: degrade the rest
+                    # to serial in-process evaluation, no pool round-trips.
+                    failure = RuntimeError(
+                        "process pool broke earlier in this sweep")
+                else:
+                    try:
+                        raw = future.result(timeout=options.candidate_timeout)
+                        value = (_inflate_slim(spec, raw) if use_processes
+                                 else raw)
+                    except KeyboardInterrupt:
+                        raise
+                    except FutureTimeoutError as error:
+                        future.cancel()
+                        failure = error
+                    except BrokenProcessPool as error:
+                        # A SIGKILLed/crashed worker poisons the whole pool:
+                        # drop it (the next sweep builds a fresh one) and
+                        # finish this sweep serially.
+                        broken = True
+                        exploration.degraded = True
+                        bump("dse.degraded")
+                        TRACER.count("dse.degraded")
+                        _discard_executor(options.executor, options.jobs)
+                        failure = error
+                    except Exception as error:
+                        failure = error
+                if value is None:
+                    value = _recover_inprocess(spec, options, exploration,
+                                               failure)
+                exploration.scheduled += 1
+                if options.memoize and spec.graph is not None:
+                    _memo_put(spec.memo_key(), value)
+                values[spec.order] = value
+                results[spec.order] = _make_candidate(spec, value)
+        except BaseException:
+            # Interrupt or unrecoverable failure mid-sweep: cancel queued
+            # candidates and tear the cached pool down so no orphaned
+            # workers (or half-submitted futures) outlive the sweep.
+            _discard_executor(options.executor, options.jobs, futures)
+            raise
         if not use_processes:
             for fork in forks:
                 if fork is not None:
@@ -583,19 +645,86 @@ def _explore_parallel(specs: List[_Spec], exploration: LoopExploration,
     return [results[order] for order in sorted(results)]
 
 
+def _recover_inprocess(spec: _Spec, options: HLSOptions,
+                       exploration: LoopExploration,
+                       failure: Optional[BaseException]) -> MemoValue:
+    """The in-process recovery ladder for one failed worker evaluation.
+
+    Re-evaluates the candidate serially (1 + ``candidate_retries`` attempts);
+    if every attempt fails too, raises the typed
+    :class:`repro.resilience.WorkerError` so callers see one clean error
+    instead of a pool-internal traceback.
+    """
+    from repro.resilience import WorkerError
+    exploration.worker_failures += 1
+    bump("dse.worker_failures")
+    TRACER.count("dse.worker_failures")
+    TRACER.event("dse.worker_failure", cat="dse", order=spec.order,
+                 error=type(failure).__name__ if failure else "unknown")
+    last: Optional[BaseException] = failure
+    for _ in range(1 + max(0, options.candidate_retries)):
+        exploration.worker_retries += 1
+        bump("dse.worker_retries")
+        TRACER.count("dse.worker_retries")
+        try:
+            return _evaluate_point(
+                spec.body, spec.pipelined, spec.requested_ii, spec.ports,
+                spec.graph,
+                spec.attempt_cache if options.memoize else None)
+        except KeyboardInterrupt:
+            raise
+        except Exception as error:
+            last = error
+    raise WorkerError(
+        f"DSE candidate order={spec.order} (unroll={spec.unroll}, "
+        f"ii={spec.requested_ii}) failed in a worker and in "
+        f"{1 + max(0, options.candidate_retries)} in-process attempt(s); "
+        f"last error: {type(last).__name__}: {last}")
+
+
 # Worker pools are reused across explore_loop calls: a compile sweeps many
 # loops, and paying pool start-up per loop would swamp the win.
 _EXECUTORS: Dict[Tuple[str, int], Executor] = {}
 
 
+def _process_worker_init() -> None:
+    """Run once in every process-pool worker: re-read ``REPRO_FAULT_PLAN``.
+
+    Fork-started workers inherit the parent's cached fault plan (often
+    explicitly suppressed in the parent while a chaos test injects into
+    children only); resetting makes each worker consult its own inherited
+    environment, with its own per-process hit counters.
+    """
+    from repro.resilience.faults import _reset_env_plan
+    _reset_env_plan()
+
+
 def _get_executor(kind: str, jobs: int) -> Executor:
     executor = _EXECUTORS.get((kind, jobs))
     if executor is None:
-        executor_cls = (ProcessPoolExecutor if kind == "process"
-                        else ThreadPoolExecutor)
-        executor = executor_cls(max_workers=jobs)
+        if kind == "process":
+            executor = ProcessPoolExecutor(max_workers=jobs,
+                                           initializer=_process_worker_init)
+        else:
+            executor = ThreadPoolExecutor(max_workers=jobs)
         _EXECUTORS[(kind, jobs)] = executor
     return executor
+
+
+def _discard_executor(kind: str, jobs: int, futures: Sequence = ()) -> None:
+    """Drop (and shut down) one cached pool, cancelling queued work.
+
+    Used on interrupt and on a broken process pool; the next sweep that
+    needs a pool builds a fresh one.  Never raises.
+    """
+    executor = _EXECUTORS.pop((kind, jobs), None)
+    for future in futures:
+        future.cancel()
+    if executor is not None:
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - teardown is best-effort
+            pass
 
 
 def shutdown_executors() -> None:

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 def _default_jobs() -> int:
@@ -38,6 +39,17 @@ def _default_jobs() -> int:
         return max(1, int(os.environ.get("REPRO_DSE_JOBS", "1")))
     except ValueError:
         return 1
+
+
+def _default_timeout() -> Optional[float]:
+    raw = os.environ.get("REPRO_DSE_TIMEOUT", "").strip()
+    if not raw:
+        return None
+    try:
+        seconds = float(raw)
+    except ValueError:
+        return None
+    return seconds if seconds > 0 else None
 
 
 def _default_executor() -> str:
@@ -62,6 +74,15 @@ class HLSOptions:
     #: graph for every single design point; ``seed_equivalent`` turns this
     #: off so the frozen Table 6 baseline keeps the seed's cost profile.
     reuse_graphs: bool = True
+    #: Per-candidate wall-clock budget (seconds) during a parallel sweep:
+    #: a worker that stalls past it is abandoned and the candidate is
+    #: re-evaluated in-process.  ``None`` (default, or unset/invalid
+    #: ``REPRO_DSE_TIMEOUT``) waits forever.
+    candidate_timeout: Optional[float] = field(default_factory=_default_timeout)
+    #: In-process evaluation attempts after a worker failure (crash, timeout
+    #: or exception) before the sweep raises a typed
+    #: :class:`repro.resilience.WorkerError`.
+    candidate_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -69,6 +90,14 @@ class HLSOptions:
         if self.executor not in ("thread", "process"):
             raise ValueError(
                 f"executor must be 'thread' or 'process', got {self.executor!r}"
+            )
+        if self.candidate_timeout is not None and self.candidate_timeout <= 0:
+            raise ValueError(
+                f"candidate_timeout must be positive, got {self.candidate_timeout}"
+            )
+        if self.candidate_retries < 0:
+            raise ValueError(
+                f"candidate_retries must be >= 0, got {self.candidate_retries}"
             )
 
     @classmethod

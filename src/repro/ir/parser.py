@@ -188,7 +188,7 @@ class Parser:
     # -- value scope --------------------------------------------------------
     def define_value(self, name: str, value: Value) -> None:
         self.scopes[-1][name] = value
-        value.name_hint = value.name_hint or name
+        value.name_hint = value.name_hint or _hint_from_name(name)
 
     def lookup_value(self, name: str, token: Token) -> Value:
         for scope in reversed(self.scopes):
@@ -346,6 +346,7 @@ class Parser:
         self.expect_kind("arrow")
         self.expect("(")
         result_types = self._parse_type_list_until(")")
+        location = self._parse_trailing_location(self.location(name_token))
 
         if len(operand_types) != len(operands):
             raise ParseError(
@@ -372,7 +373,7 @@ class Parser:
             result_types=result_types,
             attributes=attributes,
             num_regions=0,
-            location=self.location(name_token),
+            location=location,
         )
         from repro.ir.region import Region  # local import to avoid cycle at module load
 
@@ -383,9 +384,39 @@ class Parser:
                 region.add_block(block)
 
         for name, result in zip(result_names, op.results):
-            result.name_hint = name
+            result.name_hint = _hint_from_name(name)
             self.define_value(name, result)
         return op
+
+    def _parse_trailing_location(self, default: Location) -> Location:
+        """Parse an optional ``loc(...)`` clause after an operation.
+
+        The printer's ``with_locations`` mode emits ``loc(unknown)``,
+        ``loc("name")`` or ``loc("file":line:column)``; absent a clause the
+        operation is located at its own source position (``default``).
+        """
+        if self.peek().text != "loc" or self.peek(1).text != "(":
+            return default
+        self.next()
+        self.expect("(")
+        token = self.next()
+        if token.text == "unknown":
+            location: Location = Location.unknown()
+        elif token.kind == "string":
+            text = _unescape(token.text[1:-1])
+            if self.accept(":"):
+                line = int(self.expect_kind("integer").text)
+                self.expect(":")
+                column = int(self.expect_kind("integer").text)
+                location = Location.file(text, line, column)
+            else:
+                location = Location.name(text)
+        else:
+            raise ParseError(
+                f"malformed loc(...) clause at {token.text!r}",
+                self.location(token))
+        self.expect(")")
+        return location
 
     def _parse_region_blocks(self) -> List[Block]:
         """Parse the blocks of one region up to the closing '}'."""
@@ -409,7 +440,8 @@ class Parser:
                         arg_token = self.expect_kind("percent")
                         self.expect(":")
                         arg_type = self.parse_type()
-                        arg = block.add_argument(arg_type, arg_token.text[1:])
+                        arg = block.add_argument(
+                            arg_type, _hint_from_name(arg_token.text[1:]))
                         self.define_value(arg_token.text[1:], arg)
                         if self.accept(")"):
                             break
@@ -424,6 +456,17 @@ class Parser:
 
 def _unescape(text: str) -> str:
     return text.replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _hint_from_name(name: str) -> Optional[str]:
+    """A textual value name worth keeping as an SSA name hint.
+
+    The printer names hint-less values ``%0, %1, ...``; restoring those
+    digits as hints would change downstream hint-derived names (e.g.
+    Verilog signals ``sig0`` vs ``v_0``), breaking the byte-identical
+    round-trip the artifact store depends on.  Real hints survive.
+    """
+    return None if name.isdigit() else name
 
 
 def parse_module(source: str, filename: str = "<string>") -> Operation:

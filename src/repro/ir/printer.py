@@ -9,9 +9,13 @@ Every operation prints as::
 
 The output of :func:`print_module` parses back with
 :func:`repro.ir.parser.parse_module` into structurally identical IR, which the
-round-trip property tests exercise.  A separate pretty printer for the HIR
-dialect (closer to the listings in the paper) lives in
-:mod:`repro.hir.pretty`.
+round-trip property tests exercise.  ``with_locations=True`` additionally
+prints each operation's source location as a trailing ``loc(...)`` clause
+(MLIR's generic-form location syntax) which the parser restores — the
+persistent artifact store uses this so a module rebuilt from an ``ir`` blob
+reproduces byte-identical Verilog, location comments included.  A separate
+pretty printer for the HIR dialect (closer to the listings in the paper)
+lives in :mod:`repro.hir.pretty`.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from repro.ir.attributes import (
     TypeAttr,
 )
 from repro.ir.block import Block
+from repro.ir.location import FileLocation, Location, NameLocation
 from repro.ir.operation import Operation
 from repro.ir.region import Region
 from repro.ir.values import Value
@@ -73,10 +78,12 @@ class NameManager:
 class Printer:
     """Stateful printer writing the generic textual form."""
 
-    def __init__(self, indent_width: int = 2) -> None:
+    def __init__(self, indent_width: int = 2,
+                 with_locations: bool = False) -> None:
         self._out = io.StringIO()
         self._indent = 0
         self._indent_width = indent_width
+        self._with_locations = with_locations
         self.names = NameManager()
 
     # -- low-level emission ---------------------------------------------------
@@ -142,7 +149,10 @@ class Printer:
             attr_text = "{" + entries + "} "
         operand_types = ", ".join(str(o.type) for o in op.operands)
         result_types = ", ".join(str(r.type) for r in op.results)
-        return f"{attr_text}: ({operand_types}) -> ({result_types})"
+        text = f"{attr_text}: ({operand_types}) -> ({result_types})"
+        if self._with_locations:
+            text += " " + _location_text(op.location)
+        return text
 
     def _print_region_body(self, region: Region) -> None:
         self._indent += 1
@@ -164,16 +174,30 @@ class Printer:
         self._indent -= 1
 
 
-def print_op(op: Operation) -> str:
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _location_text(location: Location) -> str:
+    """The trailing ``loc(...)`` clause of one operation."""
+    if isinstance(location, NameLocation):
+        return f'loc("{_escape(location.identifier)}")'
+    if isinstance(location, FileLocation):
+        return (f'loc("{_escape(location.filename)}"'
+                f":{location.line}:{location.column})")
+    return "loc(unknown)"
+
+
+def print_op(op: Operation, with_locations: bool = False) -> str:
     """Print a single operation (and everything nested in it)."""
-    printer = Printer()
+    printer = Printer(with_locations=with_locations)
     printer.print_operation(op)
     return printer.result()
 
 
-def print_module(module: Operation) -> str:
+def print_module(module: Operation, with_locations: bool = False) -> str:
     """Print a module (alias of :func:`print_op`, kept for readability)."""
-    return print_op(module)
+    return print_op(module, with_locations=with_locations)
 
 
 def module_fingerprint(module: Operation, length: int = 16) -> str:

@@ -18,6 +18,11 @@ enumerate every cache with its capacity, current size, and hit rate:
     The per-session Flow stage caches (:mod:`repro.flow`), summed over every
     live :class:`~repro.flow.Flow`.  Unbounded: one artifact per stage per
     session, lifetime tied to the session object.
+``store.blobs``
+    The persistent on-disk artifact store (:mod:`repro.store`), the tier
+    under all of the above.  Unbounded on disk (``repro store gc`` applies
+    budgets); hits/misses are process-lifetime, evictions count quarantined
+    corrupt blobs.
 
 All three ``FlowConfig`` limits install through
 :meth:`repro.flow.FlowConfig.limits`, which is the single supported way to
@@ -82,10 +87,12 @@ def registered_caches() -> List[str]:
 
 def ensure_builtin_caches() -> None:
     """Import the modules whose caches self-register, so the report always
-    covers the builtin trio (sim.compile, dse.memo, flow.stages)."""
+    covers the builtin set (sim.compile, dse.memo, flow.stages,
+    store.blobs)."""
     import repro.flow  # noqa: F401
     import repro.hls.dse  # noqa: F401
     import repro.sim.engine.cache  # noqa: F401
+    import repro.store.store  # noqa: F401
 
 
 def all_cache_stats() -> List[CacheStats]:

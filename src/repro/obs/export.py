@@ -87,11 +87,13 @@ def to_chrome_trace(tracer: Tracer) -> Dict[str, Any]:
 
 def write_chrome_trace(path: str, tracer: Optional[Tracer] = None) -> str:
     """Write the Chrome trace JSON for ``tracer`` (default: the global
-    :data:`~repro.obs.tracer.TRACER`) to ``path``; returns ``path``."""
+    :data:`~repro.obs.tracer.TRACER`) to ``path``; returns ``path``.
+
+    Published atomically (write-then-rename): a crash mid-write can never
+    leave a torn, half-JSON trace behind."""
     from repro.obs.tracer import TRACER
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(to_chrome_trace(tracer or TRACER), handle, indent=1)
-        handle.write("\n")
+    from repro.store.io import atomic_write_json
+    atomic_write_json(path, to_chrome_trace(tracer or TRACER), indent=1)
     return path
 
 
@@ -121,10 +123,9 @@ def to_jsonl_lines(tracer: Tracer) -> List[str]:
 
 def write_jsonl(path: str, tracer: Optional[Tracer] = None) -> str:
     from repro.obs.tracer import TRACER
-    with open(path, "w", encoding="utf-8") as handle:
-        for line in to_jsonl_lines(tracer or TRACER):
-            handle.write(line + "\n")
-    return path
+    from repro.store.io import atomic_write_text
+    lines = to_jsonl_lines(tracer or TRACER)
+    return atomic_write_text(path, "".join(line + "\n" for line in lines))
 
 
 def read_jsonl(source: Any) -> List[Dict[str, Any]]:

@@ -1,0 +1,55 @@
+"""Deterministic fault injection and recovery primitives.
+
+:mod:`repro.resilience.faults` provides the seeded :class:`FaultPlan` and
+the :func:`fault_point` hooks that :mod:`repro.store`, the parallel DSE
+(:mod:`repro.hls.dse`) and the simulation-engine compile path declare.
+:class:`WorkerError` is the typed error a supervised DSE sweep raises when a
+candidate cannot be evaluated even after retry and serial fallback.
+
+See the README "Robustness & persistence" section for the fault-point map
+and the degradation ladder.
+"""
+
+from repro.ir.errors import HLSError
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    InjectedError,
+    InjectedFault,
+    InjectedIOError,
+    TornWrite,
+    active_plan,
+    bump,
+    fault_point,
+    install_plan,
+    reset_resilience_counters,
+    resilience_counters,
+    set_plan,
+)
+
+
+class WorkerError(HLSError):
+    """A DSE worker failed (crash/timeout) and every recovery attempt —
+    in-process retry, serial fallback — failed with it."""
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "InjectedError",
+    "InjectedFault",
+    "InjectedIOError",
+    "TornWrite",
+    "WorkerError",
+    "active_plan",
+    "bump",
+    "fault_point",
+    "install_plan",
+    "reset_resilience_counters",
+    "resilience_counters",
+    "set_plan",
+]

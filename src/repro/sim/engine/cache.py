@@ -22,13 +22,19 @@ simulators already built from the artifacts keep working.
 
 from __future__ import annotations
 
+import contextvars
 import os
 import weakref
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from repro.resilience.faults import fault_point
 from repro.sim.engine.codegen import (
+    clock_source,
+    comb_source,
+    comb_vector_source,
     compile_clock,
     compile_comb,
     compile_comb_vector,
@@ -119,6 +125,50 @@ class CompiledArtifacts:
     clock_vector_fn: Optional[Callable] = None
 
 
+#: When set (by :func:`persist_compiled`), generated simulator sources are
+#: loaded from / published to this ``(ArtifactStore, design key)`` pair, so a
+#: later process skips Python code generation for a design it has seen.
+_PERSIST: "contextvars.ContextVar[Optional[Tuple[object, str]]]" = \
+    contextvars.ContextVar("repro_sim_persist", default=None)
+
+
+@contextmanager
+def persist_compiled(store, key: str):
+    """Persist generated simulator sources under ``key`` for this block.
+
+    ``store`` is a :class:`repro.store.ArtifactStore` (or ``None`` for a
+    no-op); ``key`` must fingerprint the design *content* (the Flow passes
+    its design key).  Sources are stored under kind ``simsrc``.
+    """
+    if store is None:
+        yield
+        return
+    token = _PERSIST.set((store, key))
+    try:
+        yield
+    finally:
+        _PERSIST.reset(token)
+
+
+def _sourced(suffix: str, generate: Callable[[], str]) -> str:
+    """The generated source for ``suffix``, through the persist store.
+
+    A store hit skips generation entirely; a miss generates and publishes.
+    Store failures degrade to plain generation (the store never fails a
+    compile).
+    """
+    context = _PERSIST.get()
+    if context is None:
+        return generate()
+    store, base = context
+    key = f"{base}-{suffix}"
+    text = store.get_text("simsrc", key)
+    if text is None:
+        text = generate()
+        store.put("simsrc", key, text)
+    return text
+
+
 def _elaborate(design: Design, top: Optional[str],
                external_models) -> Tuple[_FlatDesign, LoweredDesign]:
     if top is not None:
@@ -144,15 +194,29 @@ def compiled_artifacts(design: Design, top: Optional[str], external_models,
             per_design[top] = artifacts
     else:
         _STATS["hits"] += 1
+    tag = "top" if top is None else top
     if vector:
         if artifacts.comb_vector_fn is None:
-            artifacts.comb_vector_fn = compile_comb_vector(artifacts.lowered)
-            artifacts.clock_vector_fn = compile_clock(artifacts.lowered,
-                                                      vector=True)
+            fault_point("engine.compile")
+            lowered = artifacts.lowered
+            artifacts.comb_vector_fn = compile_comb_vector(
+                lowered, source=_sourced(f"{tag}-comb-vector",
+                                         lambda: comb_vector_source(lowered)))
+            artifacts.clock_vector_fn = compile_clock(
+                lowered, vector=True,
+                source=_sourced(f"{tag}-clock-vector",
+                                lambda: clock_source(lowered, vector=True)))
     else:
         if artifacts.step_fns is None:
-            artifacts.step_fns = compile_comb(artifacts.lowered)
-            artifacts.clock_fn = compile_clock(artifacts.lowered, vector=False)
+            fault_point("engine.compile")
+            lowered = artifacts.lowered
+            artifacts.step_fns = compile_comb(
+                lowered, source=_sourced(f"{tag}-comb-scalar",
+                                         lambda: comb_source(lowered)))
+            artifacts.clock_fn = compile_clock(
+                lowered, vector=False,
+                source=_sourced(f"{tag}-clock-scalar",
+                                lambda: clock_source(lowered, vector=False)))
     return artifacts
 
 
@@ -177,4 +241,4 @@ _register_stats()
 
 
 __all__ = ["CompiledArtifacts", "clear_compile_cache", "compile_cache_size",
-           "compiled_artifacts", "set_cache_capacity"]
+           "compiled_artifacts", "persist_compiled", "set_cache_capacity"]

@@ -340,11 +340,12 @@ def runtime_globals() -> Dict[str, object]:
 # --------------------------------------------------------------------------- #
 
 
-def compile_comb(lowered: LoweredDesign) -> List[Callable]:
-    """Compile each continuous assignment into its own step function.
+def comb_source(lowered: LoweredDesign) -> str:
+    """Generate (without exec'ing) the scalar per-assignment step sources.
 
-    ``step_fns[i](v, m)`` evaluates ordered assignment ``i`` and returns its
-    new (masked) target value; the caller stores it and schedules fanout.
+    Source generation is a pure function of the lowered design, so the text
+    can be persisted (:mod:`repro.store` kind ``simsrc``) and exec'd by a
+    later process that skips generation entirely.
     """
     compiler = ExprCompiler(lowered, vector=False)
     builder = _SourceBuilder()
@@ -354,14 +355,28 @@ def compile_comb(lowered: LoweredDesign) -> List[Callable]:
         builder.emit(0, f"def _a{index}(v, m):")
         body = compiler.expression(assign.expr, builder, 1)
         builder.emit(1, f"return (({body})) & {mask}")
+    return builder.source()
+
+
+def compile_comb(lowered: LoweredDesign,
+                 source: Optional[str] = None) -> List[Callable]:
+    """Compile each continuous assignment into its own step function.
+
+    ``step_fns[i](v, m)`` evaluates ordered assignment ``i`` and returns its
+    new (masked) target value; the caller stores it and schedules fanout.
+    ``source`` skips generation and execs a previously generated (persisted)
+    :func:`comb_source` text instead.
+    """
+    if source is None:
+        source = comb_source(lowered)
     namespace = runtime_globals()
-    exec(builder.source(), namespace)  # noqa: S102 - trusted generated code
+    exec(source, namespace)  # noqa: S102 - trusted generated code
     return [namespace[f"_a{index}"]
             for index in range(len(lowered.netlist.ordered))]
 
 
-def compile_comb_vector(lowered: LoweredDesign) -> Callable:
-    """Compile all continuous assignments into one vectorized full pass."""
+def comb_vector_source(lowered: LoweredDesign) -> str:
+    """Generate (without exec'ing) the vectorized full-pass source."""
     compiler = ExprCompiler(lowered, vector=True)
     builder = _SourceBuilder()
     builder.emit(0, "def _comb(v, m):")
@@ -374,8 +389,16 @@ def compile_comb_vector(lowered: LoweredDesign) -> Callable:
         # In-place so each slot keeps its (lanes,) array even for
         # constant-folded right-hand sides.
         builder.emit(1, f"v[{target}][:] = (({body})) & {mask}")
+    return builder.source()
+
+
+def compile_comb_vector(lowered: LoweredDesign,
+                        source: Optional[str] = None) -> Callable:
+    """Compile all continuous assignments into one vectorized full pass."""
+    if source is None:
+        source = comb_vector_source(lowered)
     namespace = runtime_globals()
-    exec(builder.source(), namespace)  # noqa: S102 - trusted generated code
+    exec(source, namespace)  # noqa: S102 - trusted generated code
     return namespace["_comb"]
 
 
@@ -454,14 +477,8 @@ def _emit_clock_stmt(builder: _SourceBuilder, compiler: ExprCompiler,
     raise SimulationError(f"cannot compile statement {stmt!r}")
 
 
-def compile_clock(lowered: LoweredDesign, vector: bool = False) -> Callable:
-    """Compile the clocked statements into one two-phase step function.
-
-    ``_clock(v, m)`` evaluates every right-hand side against the pre-edge
-    state and returns ``(reg_updates, mem_updates)`` for the caller to commit,
-    preserving non-blocking assignment semantics.  In the vector dialect,
-    ``if`` statements become per-lane predicates.
-    """
+def clock_source(lowered: LoweredDesign, vector: bool = False) -> str:
+    """Generate (without exec'ing) the two-phase clocked step source."""
     compiler = ExprCompiler(lowered, vector=vector)
     builder = _SourceBuilder()
     builder.emit(0, "def _clock(v, m):")
@@ -472,14 +489,31 @@ def compile_clock(lowered: LoweredDesign, vector: bool = False) -> Callable:
         _emit_clock_stmt(builder, compiler, lowered, stmt, 1,
                          "None" if vector else None, counter)
     builder.emit(1, "return ru, mu")
+    return builder.source()
+
+
+def compile_clock(lowered: LoweredDesign, vector: bool = False,
+                  source: Optional[str] = None) -> Callable:
+    """Compile the clocked statements into one two-phase step function.
+
+    ``_clock(v, m)`` evaluates every right-hand side against the pre-edge
+    state and returns ``(reg_updates, mem_updates)`` for the caller to commit,
+    preserving non-blocking assignment semantics.  In the vector dialect,
+    ``if`` statements become per-lane predicates.
+    """
+    if source is None:
+        source = clock_source(lowered, vector=vector)
     namespace = runtime_globals()
-    exec(builder.source(), namespace)  # noqa: S102 - trusted generated code
+    exec(source, namespace)  # noqa: S102 - trusted generated code
     return namespace["_clock"]
 
 
 __all__ = [
     "ExprCompiler",
     "MAX_INLINE_DEPTH",
+    "clock_source",
+    "comb_source",
+    "comb_vector_source",
     "compile_clock",
     "compile_comb",
     "compile_comb_vector",

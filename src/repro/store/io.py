@@ -1,0 +1,123 @@
+"""Atomic file publication: write-then-rename, shared by every file output.
+
+A truncated artifact is worse than a missing one — a half-written Verilog
+file, benchmark JSON or fuzz reproducer looks like data until something
+parses it.  Every file the toolchain writes therefore goes through one of
+these helpers:
+
+1. the payload is written to a temporary file *in the target directory*
+   (same filesystem, so the final rename cannot cross devices);
+2. the temp file is flushed and ``fsync``\\ ed, so the bytes are durable
+   before the name exists;
+3. ``os.replace`` atomically publishes it — readers see either the old
+   content or the complete new content, never a prefix.
+
+The directory itself is fsynced best-effort (not all platforms support it),
+making the *rename* durable too.  Interrupted writes leave only
+``*.tmp*`` debris next to the target, which :meth:`repro.store.ArtifactStore.gc`
+and ``verify`` sweep up.
+
+Fault points (:func:`repro.resilience.fault_point`): ``store.write`` (payload
+corruption / io_error / torn write / crash), ``store.fsync`` and
+``store.rename`` (io_error / crash between durability and publication).
+Injection is off unless a :class:`~repro.resilience.FaultPlan` is installed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Optional
+
+from repro.resilience.faults import TornWrite, InjectedIOError, fault_point
+
+__all__ = [
+    "TMP_MARKER",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "fsync_directory",
+    "is_tmp_debris",
+]
+
+#: Substring marking in-flight temp files (debris after a crash).
+TMP_MARKER = ".tmp-"
+
+
+def is_tmp_debris(filename: str) -> bool:
+    """Is ``filename`` an in-flight temp file left by an interrupted write?"""
+    return TMP_MARKER in filename
+
+
+def fsync_directory(path: str) -> None:
+    """Best-effort fsync of a directory (makes renames in it durable)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes, *, fsync: bool = True) -> str:
+    """Atomically publish ``data`` at ``path``; returns ``path``.
+
+    Creates parent directories as needed.  On any failure the target is
+    untouched; the temp file is removed except for an injected *torn* write,
+    which deliberately leaves the partial temp file behind (that is the
+    crash being simulated).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    torn: Optional[TornWrite] = None
+    try:
+        data = fault_point("store.write", payload=data)
+    except TornWrite as fault:
+        torn = fault
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + TMP_MARKER)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            if torn is not None:
+                handle.write(data[: int(len(data) * torn.keep_fraction)])
+                handle.flush()
+                # Leave the partial temp file on disk: that is the debris an
+                # interrupted process leaves, and what gc/verify must sweep.
+                raise InjectedIOError(
+                    f"injected torn write publishing {path!r} "
+                    "(partial temp file left behind)")
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                fault_point("store.fsync")
+                os.fsync(handle.fileno())
+        fault_point("store.rename")
+        os.replace(tmp_path, path)
+        if fsync:
+            fsync_directory(directory)
+        return path
+    except BaseException:
+        if torn is None:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+        raise
+
+
+def atomic_write_text(path: str, text: str, *, encoding: str = "utf-8",
+                      fsync: bool = True) -> str:
+    """Atomically publish ``text`` at ``path`` (see :func:`atomic_write_bytes`)."""
+    return atomic_write_bytes(path, text.encode(encoding), fsync=fsync)
+
+
+def atomic_write_json(path: str, payload: Any, *, indent: int = 2,
+                      sort_keys: bool = True, fsync: bool = True) -> str:
+    """Atomically publish ``payload`` as JSON (trailing newline included)."""
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
+    return atomic_write_text(path, text, fsync=fsync)

@@ -24,6 +24,7 @@ class TestFromEnv:
             "REPRO_DSE_EXECUTOR": "process",
             "REPRO_DSE_MEMO_SIZE": "17",
             "REPRO_SIM_CACHE_SIZE": "5",
+            "REPRO_STORE_DIR": "/tmp/repro-store-roundtrip",
         }
         assert set(env) == set(ENV_VARS)
         config = FlowConfig.from_env(env)
@@ -32,6 +33,7 @@ class TestFromEnv:
         assert config.dse_executor == "process"
         assert config.dse_memo_size == 17
         assert config.sim_cache_size == 5
+        assert config.store_dir == "/tmp/repro-store-roundtrip"
 
     def test_unset_variables_inherit(self):
         config = FlowConfig.from_env({})

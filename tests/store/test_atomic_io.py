@@ -1,0 +1,106 @@
+"""Atomic publication: a target file is whole or absent, never torn."""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience import FaultPlan, InjectedIOError, install_plan, set_plan
+from repro.store.io import (
+    TMP_MARKER,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    is_tmp_debris,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_plan():
+    previous = set_plan(None)
+    try:
+        yield
+    finally:
+        set_plan(previous)
+
+
+def _entries(directory):
+    return sorted(os.listdir(directory))
+
+
+class TestHappyPath:
+    def test_writes_bytes_and_creates_parents(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "artifact.bin"
+        returned = atomic_write_bytes(str(target), b"payload")
+        assert returned == str(target)
+        assert target.read_bytes() == b"payload"
+
+    def test_overwrites_atomically(self, tmp_path):
+        target = tmp_path / "file.txt"
+        atomic_write_text(str(target), "old")
+        atomic_write_text(str(target), "new")
+        assert target.read_text() == "new"
+        # No temp debris left behind by either publish.
+        assert _entries(tmp_path) == ["file.txt"]
+
+    def test_json_round_trips_with_trailing_newline(self, tmp_path):
+        target = tmp_path / "payload.json"
+        atomic_write_json(str(target), {"b": 2, "a": [1, 2]})
+        text = target.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == {"a": [1, 2], "b": 2}
+
+    def test_is_tmp_debris(self):
+        assert is_tmp_debris(f"artifact.bin{TMP_MARKER}abc123")
+        assert not is_tmp_debris("artifact.bin")
+
+
+class TestUnderFaults:
+    def test_io_error_leaves_target_and_directory_untouched(self, tmp_path):
+        target = tmp_path / "file.txt"
+        atomic_write_text(str(target), "original")
+        with install_plan(FaultPlan.parse("store.write:io_error")):
+            with pytest.raises(InjectedIOError):
+                atomic_write_text(str(target), "replacement")
+        assert target.read_text() == "original"
+        assert _entries(tmp_path) == ["file.txt"]
+
+    def test_torn_write_leaves_partial_debris_not_target(self, tmp_path):
+        target = tmp_path / "file.txt"
+        atomic_write_text(str(target), "original")
+        with install_plan(FaultPlan.parse("store.write:torn")):
+            with pytest.raises(InjectedIOError):
+                atomic_write_text(str(target), "replacement-payload")
+        assert target.read_text() == "original"
+        debris = [name for name in _entries(tmp_path) if is_tmp_debris(name)]
+        assert len(debris) == 1
+        partial = (tmp_path / debris[0]).read_bytes()
+        assert 0 < len(partial) < len(b"replacement-payload")
+
+    def test_fsync_failure_never_publishes(self, tmp_path):
+        target = tmp_path / "file.txt"
+        with install_plan(FaultPlan.parse("store.fsync:io_error")):
+            with pytest.raises(InjectedIOError):
+                atomic_write_text(str(target), "data")
+        assert not target.exists()
+        assert _entries(tmp_path) == []
+
+    def test_rename_failure_never_publishes(self, tmp_path):
+        target = tmp_path / "file.txt"
+        atomic_write_text(str(target), "original")
+        with install_plan(FaultPlan.parse("store.rename:io_error")):
+            with pytest.raises(InjectedIOError):
+                atomic_write_text(str(target), "replacement")
+        assert target.read_text() == "original"
+        assert _entries(tmp_path) == ["file.txt"]
+
+    def test_corrupt_payload_still_publishes_whole_file(self, tmp_path):
+        # Bit-rot on the wire: the file is complete but its *content* is
+        # wrong — exactly what checksummed blobs exist to catch.
+        target = tmp_path / "file.bin"
+        payload = bytes(range(256))
+        with install_plan(FaultPlan.parse("store.write:corrupt")):
+            atomic_write_bytes(str(target), payload)
+        written = target.read_bytes()
+        assert len(written) == len(payload)
+        assert written != payload

@@ -1,0 +1,67 @@
+"""Crash safety, end to end: SIGKILL a real publisher process mid-publish.
+
+The ``crash`` fault kind SIGKILLs the process at a chosen fault point — the
+real thing, not a simulation.  A parent test process drives a child through
+each window of the publish path (mid-write, pre-rename) and then proves the
+store recovers: no torn blob is ever served, ``verify`` sweeps the debris,
+and a clean re-publish round-trips.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.store import ArtifactStore
+
+_CHILD = r"""
+import sys
+from repro.store import ArtifactStore
+store = ArtifactStore(sys.argv[1])
+store.put("ir", "crash-key", b"payload-bytes-" * 64)
+print("published")
+"""
+
+
+def _run_child(store_root, fault_plan):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(os.path.dirname(__file__), "..", "..",
+                                   "src"),
+                      env.get("PYTHONPATH")]))
+    if fault_plan:
+        env["REPRO_FAULT_PLAN"] = fault_plan
+    else:
+        env.pop("REPRO_FAULT_PLAN", None)
+    return subprocess.run(
+        [sys.executable, "-c", _CHILD, store_root],
+        env=env, capture_output=True, text=True, timeout=120)
+
+
+@pytest.mark.parametrize("fault_plan", [
+    "store.write:crash",         # killed before any bytes hit the temp file
+    "store.fsync:crash",         # killed with a full temp file, pre-rename
+    "store.rename:crash",        # killed after fsync, just before publish
+])
+def test_sigkill_mid_publish_never_leaves_a_torn_blob(tmp_path, fault_plan):
+    root = str(tmp_path / "store")
+    result = _run_child(root, fault_plan)
+    assert result.returncode == -signal.SIGKILL, result.stderr
+
+    store = ArtifactStore(root)
+    # The blob must be absent — never half-present.
+    assert store.get("ir", "crash-key") is None
+    # verify cleans up whatever the dead process left behind and is then ok.
+    report = store.verify()
+    assert report.ok
+    assert report.corrupt == []
+
+    # A clean rerun of the same publisher succeeds and round-trips.
+    rerun = _run_child(root, fault_plan=None)
+    assert rerun.returncode == 0, rerun.stderr
+    assert "published" in rerun.stdout
+    assert ArtifactStore(root).get("ir", "crash-key") == \
+        b"payload-bytes-" * 64
+    assert ArtifactStore(root).verify().ok
