@@ -1,0 +1,197 @@
+"""CI service-smoke: the serving tier's three invariants, end to end.
+
+Runs a real ``python -m repro serve`` subprocess (the same entry point an
+operator uses) against a throwaway store and asserts, in order:
+
+A. **Coalescing** — 16 concurrent *identical* build requests produce exactly
+   one Flow build: one response says ``built``, fifteen say ``coalesced``
+   (``serve.coalesced == 15`` in ``/v1/stats``), and all sixteen payloads
+   are byte-identical.  A ``serve.execute:timeout(1.5)`` fault plan stalls
+   the winning build, so the coalescing window is deterministic instead of
+   a race against a fast runner.
+B. **Sharding** — distinct requests spread across >= 2 worker shards
+   (shard choice is ``int(sha256(request), 16) % workers`` — deterministic,
+   so this never flakes).
+C. **Clean shutdown** — SIGTERM ends the process with exit code 0 and the
+   "shut down cleanly" summary on stderr.
+
+Then a second server runs one request under ``serve.shard:error`` (the
+worker shard crashes mid-service) and must still answer: pool→serial
+degradation (``serve.pool_degraded >= 1``, ``meta.serial``) with a payload
+byte-identical to the healthy run's.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.serve import ServeClient  # noqa: E402
+
+IDENTICAL = 16          # concurrent identical requests (phase A)
+REQUEST = ("gemm", {"size": 4})
+
+#: Distinct requests for the sharding check (phase B); keys are sha256 of
+#: the canonical request, so the shard spread is a fixed fact, not luck.
+DISTINCT = [
+    ("build", "transpose", {"size": 8}),
+    ("build", "matvec", {"size": 4}),
+    ("simulate", "gemm", {"size": 4}),
+    ("simulate", "stencil_1d", {"size": 16}),
+    ("build", "prefix_sum", {"size": 16}),
+    ("simulate", "matvec", {"size": 4}),
+]
+
+
+def start_server(store_dir, fault_plan=""):
+    """Launch ``python -m repro serve``; returns (process, client)."""
+    env = dict(os.environ)
+    env["REPRO_STORE_DIR"] = store_dir
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    if fault_plan:
+        env["REPRO_FAULT_PLAN"] = fault_plan
+    else:
+        env.pop("REPRO_FAULT_PLAN", None)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "4"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env)
+    deadline = time.monotonic() + 30
+    url = None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if line.startswith("serving on "):
+            url = line.split("serving on ", 1)[1].strip()
+            break
+        if process.poll() is not None:
+            break
+    if url is None:
+        process.kill()
+        raise SystemExit(f"server never announced its URL; stderr:\n"
+                         f"{process.stderr.read()}")
+    client = ServeClient(url)
+    client.wait_ready(timeout=15)
+    return process, client
+
+
+def shutdown_clean(process, phase):
+    """SIGTERM the server and require a zero exit + the clean summary."""
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise SystemExit(f"{phase}: server ignored SIGTERM for 30s")
+    stderr = process.stderr.read()
+    check(process.returncode == 0,
+          f"{phase}: SIGTERM exit code {process.returncode}; "
+          f"stderr:\n{stderr}")
+    check("shut down cleanly" in stderr,
+          f"{phase}: no clean-shutdown summary in stderr:\n{stderr}")
+    print(f"{phase}: clean SIGTERM shutdown (exit 0)")
+
+
+def check(condition, message):
+    if not condition:
+        raise SystemExit(f"SMOKE FAILED: {message}")
+
+
+def main():
+    store_root = os.environ.get("REPRO_STORE_DIR") or tempfile.mkdtemp(
+        prefix="serve-smoke-")
+    store_a = os.path.join(store_root, "phase-a")
+    store_b = os.path.join(store_root, "phase-b")
+
+    # ---- phase A: coalescing + sharding + clean shutdown -------------------
+    # The fault plan stalls the first execution 1.5s, holding the build in
+    # flight while all 16 identical requests arrive and coalesce onto it.
+    process, client = start_server(
+        store_a, fault_plan="serve.execute:timeout(1.5)")
+    try:
+        kernel, params = REQUEST
+        responses = [None] * IDENTICAL
+
+        def hit(index):
+            responses[index] = client.build(kernel, params)
+
+        threads = [threading.Thread(target=hit, args=(index,))
+                   for index in range(IDENTICAL)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        for index, response in enumerate(responses):
+            check(response is not None and response.ok,
+                  f"request {index} failed: "
+                  f"{None if response is None else response.error}")
+        provenances = sorted(r.provenance for r in responses)
+        built = provenances.count("built")
+        coalesced = provenances.count("coalesced")
+        payloads = {r.payload for r in responses}
+        counters = client.stats()["counters"]
+        check(built == 1 and coalesced == IDENTICAL - 1,
+              f"expected 1 built + {IDENTICAL - 1} coalesced, got "
+              f"{built} built + {coalesced} coalesced ({provenances})")
+        check(counters["serve.builds"] == 1,
+              f"server built {counters['serve.builds']} times for one key")
+        check(counters["serve.coalesced"] == IDENTICAL - 1,
+              f"serve.coalesced == {counters['serve.coalesced']}, "
+              f"expected {IDENTICAL - 1}")
+        check(len(payloads) == 1 and len(responses[0].payload) > 100,
+              f"{len(payloads)} distinct payload byte strings for one key")
+        print(f"phase A: {IDENTICAL} identical requests -> 1 build, "
+              f"{coalesced} coalesced, byte-identical payloads "
+              f"({len(responses[0].payload)} bytes)")
+        healthy_payload = responses[0].payload
+
+        distinct = [getattr(client, verb)(target, params)
+                    for verb, target, params in DISTINCT]
+        for response, spec in zip(distinct, DISTINCT):
+            check(response.ok, f"distinct request {spec} failed: "
+                               f"{response.error}")
+        shards = {r.shard for r in distinct}
+        check(len(shards) >= 2,
+              f"distinct requests landed on shards {sorted(shards)}; "
+              f"expected >= 2 of 4")
+        print(f"phase A: {len(DISTINCT)} distinct requests spread over "
+              f"shards {sorted(shards)}")
+    finally:
+        if process.poll() is None:
+            shutdown_clean(process, "phase A")
+
+    # ---- phase B: shard crash -> pool->serial degradation ------------------
+    process, client = start_server(store_b, fault_plan="serve.shard:error")
+    try:
+        response = client.build(*REQUEST)
+        counters = client.stats()["counters"]
+        check(response.ok, f"request under shard crash failed: "
+                           f"{response.error}")
+        check(response.meta.get("serial") is True,
+              f"expected serial-rescue meta, got {response.meta}")
+        check(counters["serve.pool_degraded"] >= 1,
+              f"serve.pool_degraded == {counters['serve.pool_degraded']}")
+        check(counters["serve.shard_crashes"] >= 1,
+              f"serve.shard_crashes == {counters['serve.shard_crashes']}")
+        check(response.payload == healthy_payload,
+              "degraded payload differs from the healthy run's bytes")
+        print("phase B: shard crash degraded pool->serial with "
+              "byte-identical output")
+    finally:
+        if process.poll() is None:
+            shutdown_clean(process, "phase B")
+
+    print("SERVICE SMOKE OK")
+
+
+if __name__ == "__main__":
+    main()

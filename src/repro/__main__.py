@@ -16,6 +16,12 @@ Subcommands mirror the :class:`repro.flow.Flow` stages:
   counters.
 * ``store``     — inspect and maintain the persistent artifact store
   (``stats``/``verify``/``gc``/``clear``); see :mod:`repro.store`.
+* ``serve``     — run the flow service: an HTTP front end on the artifact
+  store that coalesces identical concurrent requests and shards
+  independent ones across a supervised worker pool (:mod:`repro.serve`).
+* ``remote``    — the same verbs as the local CLI, executed by a running
+  ``repro serve`` instance (``build``/``simulate``/``sweep``/``compose``
+  plus ``stats``/``health``/``shutdown``).
 
 Observability: ``--trace FILE`` (on build/simulate/sweep/compose/stats)
 writes a Chrome ``trace_event`` JSON of the whole run — load it in
@@ -37,6 +43,8 @@ Kernel size parameters are passed as repeated ``-p key=value`` options::
     python -m repro compose gemm_pipeline --seed 3 --schedule
     python -m repro report --quick --validate
     python -m repro fuzz --seed 0 --count 100 --max-ops 40
+    python -m repro serve --port 8731 --workers 4
+    python -m repro remote build gemm -p size=8 --url http://127.0.0.1:8731
 """
 
 from __future__ import annotations
@@ -340,6 +348,108 @@ def _cmd_store(arguments) -> int:
     return 0
 
 
+def _cmd_serve(arguments) -> int:
+    """Run the flow service until SIGTERM/SIGINT (or ``POST /v1/shutdown``).
+
+    The bound URL is printed to stdout first (one parseable line), so
+    launchers using ``--port 0`` can discover the ephemeral port.  Shutdown
+    is always clean: stop accepting, drain the shard pool, then print the
+    serve counters to stderr.
+    """
+    import signal
+    import threading
+
+    from repro.serve import ServeServer
+
+    server = ServeServer(host=arguments.host, port=arguments.port,
+                         workers=arguments.workers,
+                         timeout=arguments.timeout)
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    server.start()
+    store = "off" if server.store is None else server.store.root
+    print(f"serving on {server.url}", flush=True)
+    print(f"workers={server.workers} timeout="
+          f"{server.timeout if server.timeout is not None else 'none'} "
+          f"store={store}", file=sys.stderr, flush=True)
+    try:
+        while not stop.is_set() and server._serve_thread.is_alive():
+            stop.wait(0.2)
+    finally:
+        server.stop()
+        counters = {name: value for name, value in
+                    sorted(server.counters.items()) if value}
+        summary = ", ".join(f"{name.removeprefix('serve.')}={value}"
+                            for name, value in counters.items()) or "idle"
+        print(f"serve: shut down cleanly ({summary})", file=sys.stderr)
+    return 0
+
+
+def _cmd_remote(arguments) -> int:
+    """Mirror the local CLI verbs through a running ``repro serve``."""
+    import json as _json
+
+    from repro.serve import ServeClient, ServeRequest
+    from repro.store.io import atomic_write_text
+
+    client = ServeClient(arguments.url)
+    action = arguments.action
+    if action in ("stats", "health"):
+        payload = client.stats() if action == "stats" else client.health()
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if action == "shutdown":
+        client.shutdown()
+        print(f"shutdown requested at {client.url}")
+        return 0
+    if arguments.target is None:
+        raise SystemExit(f"remote {action} needs a target name")
+    request = ServeRequest.make(
+        action, arguments.target, _parse_params(arguments.param),
+        seed=arguments.seed,
+        seeds=arguments.seeds if action == "sweep" else None,
+        pipeline=arguments.pipeline, engine=arguments.engine)
+    response = client.request(request)
+    if not response.ok:
+        error = response.error or {}
+        print(f"error: [{error.get('type', 'unknown')}] "
+              f"{error.get('message', 'no message')}", file=sys.stderr)
+        return 1
+    origin = (f"{response.provenance} shard={response.shard} "
+              f"key={response.key[:12]} {response.seconds:.2f}s")
+    result = response.result()
+    if action == "build":
+        text = result["verilog"]
+        if arguments.output:
+            atomic_write_text(arguments.output, text)
+            print(f"wrote {len(text.splitlines())} lines of Verilog to "
+                  f"{arguments.output}")
+        else:
+            print(text)
+        print(f"{request.describe()}: resources={result['resources']} "
+              f"({origin})", file=sys.stderr)
+        return 0
+    if action == "sweep":
+        for lane in result["lanes"]:
+            print(f"lane {lane['seed']:>3}: cycles={lane['cycles']} "
+                  f"{'ok' if lane['ok'] else 'MISMATCH'}")
+        print(f"{request.describe()}: {len(result['lanes'])} lanes, "
+              f"{result['mismatches']} mismatching ({origin})",
+              file=sys.stderr)
+        return 0 if result["mismatches"] == 0 else 1
+    # simulate / compose
+    status = "ok" if result["ok"] else "MISMATCH"
+    print(f"{request.describe()}: engine={result['engine']} "
+          f"seed={result['seed']} cycles={result['cycles']} {status}")
+    print(origin, file=sys.stderr)
+    return 0 if result["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -489,6 +599,52 @@ def build_parser() -> argparse.ArgumentParser:
     store.add_argument("--max-blobs", type=int, default=None,
                        help="gc: keep at most this many blobs")
     store.set_defaults(handler=_cmd_store)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the flow service: coalescing, sharded HTTP front end "
+             "on the artifact store")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port; 0 (default) picks a free port — the "
+                            "bound URL is printed on stdout")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker shards (default $REPRO_SERVE_WORKERS "
+                            "or 4)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-request timeout in seconds (default "
+                            "$REPRO_SERVE_TIMEOUT or unlimited)")
+    serve.set_defaults(handler=_cmd_serve)
+
+    remote = subparsers.add_parser(
+        "remote",
+        help="run CLI verbs against a `repro serve` instance")
+    remote.add_argument("action",
+                        choices=("build", "simulate", "sweep", "compose",
+                                 "stats", "health", "shutdown"),
+                        help="service verb (build/simulate/sweep/compose "
+                             "mirror the local CLI)")
+    remote.add_argument("target", nargs="?", default=None,
+                        help="kernel (build/simulate/sweep) or scenario "
+                             "(compose) name")
+    remote.add_argument("-p", "--param", action="append", metavar="KEY=VALUE",
+                        help="kernel/scenario size parameter (repeatable)")
+    remote.add_argument("--seed", type=int, default=0,
+                        help="stimulus seed (simulate/compose; default 0)")
+    remote.add_argument("--seeds", type=int, default=8,
+                        help="sweep: batched stimulus lanes (default 8)")
+    remote.add_argument("--pipeline", default=None,
+                        choices=("optimize", "verify", "none", "legacy"),
+                        help="pass pipeline override")
+    remote.add_argument("--engine", default=None,
+                        help="simulation engine override")
+    remote.add_argument("--url", default=None,
+                        help="server URL (default $REPRO_SERVE_URL)")
+    remote.add_argument("-o", "--output", default=None,
+                        help="build: write the Verilog here instead of "
+                             "stdout")
+    remote.set_defaults(handler=_cmd_remote)
 
     return parser
 

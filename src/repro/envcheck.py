@@ -73,6 +73,16 @@ def _store_dir(value: str) -> Optional[str]:
     return None
 
 
+def _serve_url(value: str) -> Optional[str]:
+    from urllib.parse import urlparse
+    if not value.strip():
+        return None
+    parsed = urlparse(value)
+    if parsed.scheme not in ("http", "https") or not parsed.netloc:
+        return (f"expected an http(s)://host:port URL, got {value!r}")
+    return None
+
+
 def _fault_plan(value: str) -> Optional[str]:
     from repro.resilience import FaultPlan, FaultPlanError
     try:
@@ -92,6 +102,9 @@ VALIDATED_VARS: Dict[str, Callable[[str], Optional[str]]] = {
     "REPRO_SIM_ENGINE": _engine,
     "REPRO_STORE_DIR": _store_dir,
     "REPRO_FAULT_PLAN": _fault_plan,
+    "REPRO_SERVE_WORKERS": _positive_int,
+    "REPRO_SERVE_TIMEOUT": _positive_float,
+    "REPRO_SERVE_URL": _serve_url,
 }
 
 

@@ -1,0 +1,175 @@
+"""The CI bench-regression gate over the versioned BENCH_*.json payloads.
+
+``benchmarks/baseline.json`` commits one known-good run of the benchmark
+harness (schema v2, see :mod:`repro.obs.metrics`); this module compares a
+fresh run against it and fails CI on a regression::
+
+    python -m repro.obs.benchgate --baseline benchmarks/baseline.json \\
+        BENCH_sim.json BENCH_compile.json
+
+Absolute timings vary wildly across runner generations, so the gate is
+deliberately coarse and only inspects two metric families, with a generous
+multiplicative ``--tolerance`` (default 1.5x):
+
+* metrics whose name contains ``seconds`` must not grow past
+  ``baseline * tolerance`` (a wall-clock regression);
+* metrics whose name contains ``speedup`` must not fall below
+  ``baseline / tolerance`` (an optimization stopped paying for itself).
+
+Everything else (cycles, lane counts, DSE tallies) is correctness-tested
+elsewhere and ignored here.  A baseline record with no fresh counterpart
+fails the gate — a silently vanished benchmark is itself a regression.
+
+``--self-test`` proves the gate has teeth: it synthesizes a 2x slowdown of
+the fresh records, runs the same comparison, and exits 0 only if the gate
+*failed* on it.  CI runs both modes; refresh instructions live in the
+README's "Benchmarks" section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.obs.metrics import validate_bench_payload
+
+__all__ = ["compare", "load_records", "main", "slowdown"]
+
+#: Fresh wall-clock may grow to baseline * TOLERANCE before the gate trips.
+DEFAULT_TOLERANCE = 1.5
+
+
+def _numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def load_records(path: str) -> Dict[str, Dict[str, Any]]:
+    """Records of one BENCH_*.json file, indexed by name (schema-checked)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    errors = validate_bench_payload(payload)
+    if errors:
+        raise ValueError(f"{path}: invalid bench payload: {errors[0]}")
+    return {str(record["name"]): dict(record)
+            for record in payload["records"]}
+
+
+def compare(baseline: Mapping[str, Mapping[str, Any]],
+            fresh: Mapping[str, Mapping[str, Any]],
+            tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    """Every regression of ``fresh`` against ``baseline`` (empty = gate up).
+
+    Both arguments map record name -> record dict (see :func:`load_records`);
+    extra fresh records are fine (new benchmarks don't need a baseline yet).
+    """
+    problems: List[str] = []
+    for name in sorted(baseline):
+        base_record = baseline[name]
+        fresh_record = fresh.get(name)
+        if fresh_record is None:
+            problems.append(f"{name}: benchmark missing from the fresh run")
+            continue
+        for metric in sorted(base_record):
+            base_value = base_record[metric]
+            if not _numeric(base_value) or base_value <= 0:
+                continue
+            fresh_value = fresh_record.get(metric)
+            if "seconds" in metric:
+                if not _numeric(fresh_value):
+                    problems.append(f"{name}: metric {metric!r} missing "
+                                    "from the fresh run")
+                elif fresh_value > base_value * tolerance:
+                    problems.append(
+                        f"{name}: {metric} regressed "
+                        f"{fresh_value / base_value:.2f}x "
+                        f"({base_value:.4g}s -> {fresh_value:.4g}s, "
+                        f"tolerance {tolerance:g}x)")
+            elif "speedup" in metric:
+                if not _numeric(fresh_value):
+                    problems.append(f"{name}: metric {metric!r} missing "
+                                    "from the fresh run")
+                elif fresh_value < base_value / tolerance:
+                    problems.append(
+                        f"{name}: {metric} fell to "
+                        f"{fresh_value:.2f}x (baseline {base_value:.2f}x, "
+                        f"floor {base_value / tolerance:.2f}x)")
+    return problems
+
+
+def slowdown(records: Mapping[str, Mapping[str, Any]],
+             factor: float = 2.0) -> Dict[str, Dict[str, Any]]:
+    """A synthetic regression: every seconds-metric ``factor`` slower, every
+    speedup-metric ``factor`` smaller (the self-test input)."""
+    slowed: Dict[str, Dict[str, Any]] = {}
+    for name, record in records.items():
+        mutated = dict(record)
+        for metric, value in record.items():
+            if not _numeric(value):
+                continue
+            if "seconds" in metric:
+                mutated[metric] = value * factor
+            elif "speedup" in metric:
+                mutated[metric] = value / factor
+        slowed[name] = mutated
+    return slowed
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.benchgate",
+        description="Fail on benchmark regressions against a committed "
+                    "baseline.")
+    parser.add_argument("fresh", nargs="+",
+                        help="freshly emitted BENCH_*.json file(s)")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline payload "
+                             "(benchmarks/baseline.json)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed wall-clock growth / speedup shrink "
+                             "factor (default %(default)s)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate fails on a synthetic 2x "
+                             "slowdown of the fresh run")
+    arguments = parser.parse_args(argv)
+    if arguments.tolerance <= 1.0:
+        parser.error(f"--tolerance must be > 1.0, got {arguments.tolerance}")
+
+    try:
+        baseline = load_records(arguments.baseline)
+        fresh: Dict[str, Dict[str, Any]] = {}
+        for path in arguments.fresh:
+            fresh.update(load_records(path))
+    except (OSError, ValueError) as error:
+        print(f"benchgate: {error}", file=sys.stderr)
+        return 2
+
+    if arguments.self_test:
+        problems = compare(baseline, slowdown(fresh),
+                           tolerance=arguments.tolerance)
+        if not problems:
+            print("benchgate: SELF-TEST FAILED — a synthetic 2x slowdown "
+                  "passed the gate", file=sys.stderr)
+            return 1
+        print(f"benchgate: self-test ok — synthetic 2x slowdown tripped "
+              f"{len(problems)} check(s)")
+        return 0
+
+    problems = compare(baseline, fresh, tolerance=arguments.tolerance)
+    checked = sum(1 for record in baseline.values() for metric in record
+                  if _numeric(record[metric])
+                  and ("seconds" in metric or "speedup" in metric))
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION  {problem}", file=sys.stderr)
+        print(f"benchgate: {len(problems)} regression(s) across {checked} "
+              f"checked metric(s)", file=sys.stderr)
+        return 1
+    print(f"benchgate: ok — {checked} metric(s) within {arguments.tolerance:g}x "
+          f"of {arguments.baseline}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Flow-as-a-service: a coalescing, sharded front end on the artifact store.
+
+``python -m repro serve`` turns the Flow toolchain into a shared service:
+many clients (CI fleets, distributed DSE, big sweeps) hit one process that
+single-flights identical requests, shards independent ones across a
+supervised worker pool, and memoizes whole responses in the crash-safe
+:class:`repro.store.ArtifactStore` — so a warm design costs a checksum read
+no matter how many clients ask.
+
+Layer map (each module's docstring has the full contract):
+
+* :mod:`repro.serve.protocol` — canonical requests/payloads, the request
+  key, the response envelope with built/coalesced/store-hit provenance.
+* :mod:`repro.serve.worker`   — one request → one deterministic payload,
+  through :class:`repro.flow.Flow`.
+* :mod:`repro.serve.pool`     — single-flight coalescing + deterministic
+  sharding + the PR 7 supervision ladder (retry, typed
+  :class:`~repro.resilience.WorkerError`, pool→serial degradation).
+* :mod:`repro.serve.server`   — the stdlib HTTP listener, the tiered
+  request pipeline, serve counters.
+* :mod:`repro.serve.client`   — the stdlib client behind
+  ``python -m repro remote``.
+
+Fault points (``REPRO_FAULT_PLAN``): ``serve.request`` (front door),
+``serve.execute`` (supervised execution; ``timeout(s)`` stalls are how
+tests hold a build in flight), ``serve.shard`` (worker-loop crash →
+pool→serial degradation).
+"""
+
+from repro.serve.client import ServeClient, resolve_url
+from repro.serve.pool import CoalescingPool, PoolOutcome
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    PROVENANCES,
+    VERBS,
+    ServeError,
+    ServeRequest,
+    ServeResponse,
+    canonical_payload,
+)
+from repro.serve.server import ServeServer, serve_counters
+from repro.serve.worker import execute
+
+__all__ = [
+    "CoalescingPool",
+    "PROTOCOL_VERSION",
+    "PROVENANCES",
+    "PoolOutcome",
+    "ServeClient",
+    "ServeError",
+    "ServeRequest",
+    "ServeResponse",
+    "ServeServer",
+    "VERBS",
+    "canonical_payload",
+    "execute",
+    "resolve_url",
+    "serve_counters",
+]

@@ -1,0 +1,144 @@
+"""A thin stdlib client for ``repro serve`` (:mod:`repro.serve.server`).
+
+:class:`ServeClient` speaks the JSON protocol of :mod:`repro.serve.protocol`
+over :mod:`urllib.request` — no dependencies, safe to import anywhere.  The
+verb helpers mirror the local CLI::
+
+    client = ServeClient("http://127.0.0.1:8731")
+    client.wait_ready()
+    response = client.build("gemm", {"size": 8})
+    response.provenance            # "built" | "coalesced" | "store-hit"
+    response.result()["verilog"]   # decoded canonical payload
+
+Transport problems (connection refused, undecodable body) raise
+:class:`~repro.serve.protocol.ServeError`; *server-side* failures come back
+as normal :class:`~repro.serve.protocol.ServeResponse` objects with
+``ok=False`` and a typed ``error`` — calling :meth:`ServeResponse.result`
+re-raises them client-side.
+
+The default server URL is ``$REPRO_SERVE_URL`` (validated by the CLI's
+environment check), so ``python -m repro remote ...`` works without
+repeating ``--url``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Mapping, Optional
+
+from repro.serve.protocol import ServeError, ServeRequest, ServeResponse
+
+__all__ = ["DEFAULT_URL_ENV", "ServeClient", "resolve_url"]
+
+DEFAULT_URL_ENV = "REPRO_SERVE_URL"
+
+
+def resolve_url(url: Optional[str] = None) -> str:
+    """Explicit URL > ``$REPRO_SERVE_URL``; raises when neither is set."""
+    if url:
+        return url.rstrip("/")
+    env = os.environ.get(DEFAULT_URL_ENV, "").strip()
+    if env:
+        return env.rstrip("/")
+    raise ServeError(
+        "no server URL: pass --url or set REPRO_SERVE_URL "
+        "(e.g. http://127.0.0.1:8731)")
+
+
+class ServeClient:
+    """One server endpoint; every method is a synchronous HTTP round-trip."""
+
+    def __init__(self, url: Optional[str] = None, *,
+                 timeout: float = 300.0) -> None:
+        self.url = resolve_url(url)
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+    def _round_trip(self, path: str, body: Optional[Dict[str, Any]] = None,
+                    timeout: Optional[float] = None) -> Dict[str, Any]:
+        request = urllib.request.Request(
+            f"{self.url}{path}",
+            data=(None if body is None
+                  else json.dumps(body).encode("utf-8")),
+            headers={"Content-Type": "application/json"},
+            method="POST" if body is not None else "GET")
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout if timeout is None
+                    else timeout) as reply:
+                raw = reply.read()
+        except urllib.error.HTTPError as error:
+            # Protocol-level errors still carry a JSON ServeResponse body.
+            raw = error.read()
+        except (urllib.error.URLError, OSError, TimeoutError) as error:
+            raise ServeError(
+                f"cannot reach {self.url}{path}: {error}") from error
+        try:
+            decoded = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ServeError(
+                f"undecodable response from {self.url}{path}: "
+                f"{error}") from error
+        if not isinstance(decoded, dict):
+            raise ServeError(
+                f"malformed response from {self.url}{path}: expected an "
+                f"object, got {type(decoded).__name__}")
+        return decoded
+
+    # -- requests ------------------------------------------------------------
+    def request(self, request: ServeRequest) -> ServeResponse:
+        """Send one typed request; returns the (possibly error) response."""
+        return ServeResponse.from_payload(
+            self._round_trip("/v1/request", request.to_payload()))
+
+    def build(self, target: str, params: Optional[Mapping[str, int]] = None,
+              **fields_: Any) -> ServeResponse:
+        return self.request(
+            ServeRequest.make("build", target, params, **fields_))
+
+    def simulate(self, target: str,
+                 params: Optional[Mapping[str, int]] = None,
+                 seed: int = 0, **fields_: Any) -> ServeResponse:
+        return self.request(ServeRequest.make("simulate", target, params,
+                                              seed=seed, **fields_))
+
+    def sweep(self, target: str, params: Optional[Mapping[str, int]] = None,
+              seeds: int = 8, **fields_: Any) -> ServeResponse:
+        return self.request(ServeRequest.make("sweep", target, params,
+                                              seeds=seeds, **fields_))
+
+    def compose(self, scenario: str,
+                params: Optional[Mapping[str, int]] = None,
+                seed: int = 0, **fields_: Any) -> ServeResponse:
+        return self.request(ServeRequest.make("compose", scenario, params,
+                                              seed=seed, **fields_))
+
+    # -- service management --------------------------------------------------
+    def health(self, timeout: float = 5.0) -> Dict[str, Any]:
+        return self._round_trip("/v1/health", timeout=timeout)
+
+    def stats(self) -> Dict[str, Any]:
+        return self._round_trip("/v1/stats")
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to shut down cleanly (same path as SIGTERM)."""
+        return self._round_trip("/v1/shutdown", body={})
+
+    def wait_ready(self, timeout: float = 10.0,
+                   interval: float = 0.05) -> Dict[str, Any]:
+        """Poll ``/v1/health`` until the server answers (or raise)."""
+        deadline = time.monotonic() + timeout
+        last: Optional[ServeError] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.health(timeout=min(1.0, timeout))
+            except ServeError as error:
+                last = error
+                time.sleep(interval)
+        raise ServeError(
+            f"server at {self.url} not ready after {timeout:g}s "
+            f"(last error: {last})")

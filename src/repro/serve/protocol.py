@@ -1,0 +1,271 @@
+"""The wire protocol of ``repro serve``: typed requests, canonical payloads.
+
+Everything the service exchanges is JSON, but two properties carry the whole
+coalescing/persistence design and are pinned here rather than left to
+``json.dumps`` defaults:
+
+* **Canonical requests.**  :meth:`ServeRequest.canonical` renders a request
+  as sorted-key, separator-free JSON, so two textually different but
+  semantically identical requests (parameter order, defaulted fields) map to
+  the same :meth:`ServeRequest.key` — the sha256 the server single-flights
+  and shards on, and the :class:`~repro.store.ArtifactStore` key the response
+  payload persists under (kind ``"serve"``).  The protocol version is folded
+  into the canonical form, so a payload-schema change can never serve a
+  stale blob.
+* **Canonical payloads.**  :func:`canonical_payload` is the one encoder for
+  response payloads.  A payload is pure result — Verilog text, resource
+  numbers, simulated outputs — with no timestamps or timings, so a built, a
+  coalesced and a store-hit response for the same key are *byte-identical*
+  (the CI service-smoke job asserts exactly this).
+
+The response envelope (:class:`ServeResponse`) carries the per-access facts
+around the payload: which ``provenance`` tier answered (``built`` — this
+request ran the Flow; ``coalesced`` — it awaited another in-flight request;
+``store-hit`` — the payload was read back from the artifact store), which
+worker ``shard`` executed it, the module ``fingerprint``, and wall seconds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "PROVENANCES",
+    "VERBS",
+    "ServeError",
+    "ServeRequest",
+    "ServeResponse",
+    "canonical_payload",
+    "payload_key",
+]
+
+from repro.ir.errors import IRError
+
+#: Bumped on any payload-schema change: the version participates in the
+#: request key, so old store blobs become misses instead of wrong answers.
+PROTOCOL_VERSION = 1
+
+#: Service verbs, mirroring the local CLI (``compose`` takes a scenario).
+VERBS: Tuple[str, ...] = ("build", "simulate", "sweep", "compose")
+
+#: Which tier answered a request.
+PROVENANCES: Tuple[str, ...] = ("built", "coalesced", "store-hit")
+
+
+class ServeError(IRError):
+    """A malformed request/response or a client-side transport failure."""
+
+
+def canonical_payload(payload: Mapping[str, Any]) -> str:
+    """The one canonical JSON encoding of a response payload.
+
+    Sorted keys, no whitespace: byte-identity of two payloads is string
+    equality, and the string is what the server persists in the store.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def payload_key(canonical: str) -> str:
+    """sha256 of a canonical request — the single-flight and store key."""
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One service request: a CLI verb plus its (small, JSON-safe) inputs."""
+
+    verb: str
+    #: Kernel name (build/simulate/sweep) or scenario name (compose).
+    target: str
+    #: Kernel/scenario size parameters, as the CLI's repeated ``-p``.
+    params: Tuple[Tuple[str, int], ...] = ()
+    #: Stimulus seed (simulate/compose validation runs).
+    seed: int = 0
+    #: Batched-sweep lane count (sweep verb only).
+    seeds: Optional[int] = None
+    #: Optional FlowConfig overrides, same values as the CLI flags.
+    pipeline: Optional[str] = None
+    engine: Optional[str] = None
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def make(cls, verb: str, target: str,
+             params: Optional[Mapping[str, int]] = None,
+             **fields_: Any) -> "ServeRequest":
+        """Build a request from a params mapping (order-normalized here)."""
+        items = tuple(sorted((params or {}).items()))
+        return cls(verb=verb, target=target, params=items, **fields_)
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "ServeRequest":
+        """Parse an incoming request body; raises :class:`ServeError`."""
+        if not isinstance(payload, dict):
+            raise ServeError(
+                f"request body must be a JSON object, got "
+                f"{type(payload).__name__}")
+        unknown = sorted(set(payload) - {
+            "verb", "target", "params", "seed", "seeds", "pipeline",
+            "engine"})
+        if unknown:
+            raise ServeError(f"unknown request field(s): {', '.join(unknown)}")
+        verb = payload.get("verb")
+        target = payload.get("target")
+        if verb not in VERBS:
+            raise ServeError(
+                f"unknown verb {verb!r}; choose one of {list(VERBS)}")
+        if not isinstance(target, str) or not target:
+            raise ServeError("request needs a non-empty string 'target'")
+        params = payload.get("params") or {}
+        if not isinstance(params, dict):
+            raise ServeError("'params' must be an object of name -> int")
+        normalized: Dict[str, int] = {}
+        for name, value in params.items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ServeError(
+                    f"param {name!r} must be an integer, got {value!r}")
+            normalized[str(name)] = value
+        seed = payload.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ServeError(f"'seed' must be an integer, got {seed!r}")
+        seeds = payload.get("seeds")
+        if seeds is not None and (not isinstance(seeds, int)
+                                  or isinstance(seeds, bool) or seeds < 1):
+            raise ServeError(f"'seeds' must be a positive integer, got {seeds!r}")
+        pipeline = payload.get("pipeline")
+        engine = payload.get("engine")
+        for name, value in (("pipeline", pipeline), ("engine", engine)):
+            if value is not None and not isinstance(value, str):
+                raise ServeError(f"{name!r} must be a string")
+        return cls.make(verb, target, normalized, seed=seed, seeds=seeds,
+                        pipeline=pipeline, engine=engine)
+
+    # -- canonical form ------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON body a client sends (defaulted fields omitted)."""
+        body: Dict[str, Any] = {"verb": self.verb, "target": self.target}
+        if self.params:
+            body["params"] = dict(self.params)
+        if self.seed:
+            body["seed"] = self.seed
+        if self.seeds is not None:
+            body["seeds"] = self.seeds
+        if self.pipeline is not None:
+            body["pipeline"] = self.pipeline
+        if self.engine is not None:
+            body["engine"] = self.engine
+        return body
+
+    def canonical(self) -> str:
+        """Canonical JSON folding in every semantic field + the protocol
+        version (defaults written out, so omitting a field and passing its
+        default produce identical bytes)."""
+        return json.dumps({
+            "v": PROTOCOL_VERSION,
+            "verb": self.verb,
+            "target": self.target,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "seeds": self.seeds,
+            "pipeline": self.pipeline,
+            "engine": self.engine,
+        }, sort_keys=True, separators=(",", ":"))
+
+    def key(self) -> str:
+        """The single-flight / shard / store key of this request."""
+        return payload_key(self.canonical())
+
+    def describe(self) -> str:
+        params = " ".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.verb} {self.target}" + (f" [{params}]" if params else "")
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """The response envelope around a canonical payload (or a typed error)."""
+
+    ok: bool
+    verb: str
+    key: str
+    #: "built" | "coalesced" | "store-hit" (see module docstring); error
+    #: responses keep the tier that *would* have answered ("built").
+    provenance: str = "built"
+    #: Worker shard that executed the request (-1: not dispatched — a
+    #: store-hit or an error before dispatch).
+    shard: int = -1
+    #: Module content fingerprint of the design behind the payload.
+    fingerprint: str = ""
+    #: Wall seconds this request spent in the server.
+    seconds: float = 0.0
+    #: Canonical payload JSON (see :func:`canonical_payload`); "" on error.
+    payload: str = ""
+    #: Typed error: {"type": exception class name, "message": str}.
+    error: Optional[Dict[str, str]] = None
+    #: Extra per-access facts (never part of the payload byte-identity).
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_payload(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "ok": self.ok, "verb": self.verb, "key": self.key,
+            "provenance": self.provenance, "shard": self.shard,
+            "fingerprint": self.fingerprint, "seconds": self.seconds,
+            "payload": self.payload,
+        }
+        if self.error is not None:
+            body["error"] = dict(self.error)
+        if self.meta:
+            body["meta"] = dict(self.meta)
+        return body
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "ServeResponse":
+        if not isinstance(payload, dict):
+            raise ServeError(
+                f"response body must be a JSON object, got "
+                f"{type(payload).__name__}")
+        missing = [name for name in ("ok", "verb", "key", "provenance")
+                   if name not in payload]
+        if missing:
+            raise ServeError(
+                f"response body missing field(s): {', '.join(missing)}")
+        error = payload.get("error")
+        if error is not None and not isinstance(error, dict):
+            raise ServeError("'error' must be an object")
+        return cls(ok=bool(payload["ok"]), verb=str(payload["verb"]),
+                   key=str(payload["key"]),
+                   provenance=str(payload["provenance"]),
+                   shard=int(payload.get("shard", -1)),
+                   fingerprint=str(payload.get("fingerprint", "")),
+                   seconds=float(payload.get("seconds", 0.0)),
+                   payload=str(payload.get("payload", "")),
+                   error=None if error is None else
+                   {str(k): str(v) for k, v in error.items()},
+                   meta=dict(payload.get("meta") or {}))
+
+    def result(self) -> Dict[str, Any]:
+        """The decoded payload object (raises :class:`ServeError` on error
+        responses, carrying the server-side typed error)."""
+        if not self.ok:
+            error = self.error or {}
+            raise ServeError(
+                f"server error [{error.get('type', 'unknown')}]: "
+                f"{error.get('message', 'no message')}")
+        try:
+            decoded = json.loads(self.payload)
+        except ValueError as exc:
+            raise ServeError(f"undecodable response payload: {exc}")
+        if not isinstance(decoded, dict):
+            raise ServeError("response payload must decode to an object")
+        return decoded
+
+
+def validation_errors(payload: Any) -> List[str]:
+    """Every problem with a raw request body (empty list = parseable)."""
+    try:
+        ServeRequest.from_payload(payload)
+        return []
+    except ServeError as error:
+        return [str(error)]

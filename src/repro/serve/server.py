@@ -1,0 +1,336 @@
+"""The ``repro serve`` HTTP front end: flow-as-a-service on the store.
+
+Pure stdlib (:mod:`http.server` + threads), matching the repo's
+zero-dependency rule.  A :class:`ServeServer` owns three tiers, consulted in
+order for every ``POST /v1/request``:
+
+1. **In-flight coalescing** — :class:`~repro.serve.pool.CoalescingPool`
+   single-flights concurrent identical keys; a later arrival awaits the
+   winner and answers with ``provenance: "coalesced"``.
+2. **The artifact store** — completed responses persist as canonical
+   payload blobs (kind ``"serve"``) in :class:`repro.store.ArtifactStore`;
+   a warm key answers with ``provenance: "store-hit"`` without touching the
+   pool.  Corruption is the store's problem (sha256 verify + quarantine →
+   miss → rebuild), never the client's.
+3. **Sharded execution** — misses dispatch to ``hash(key) % workers`` and
+   run the Flow (:func:`repro.serve.worker.execute`), then publish back to
+   the store: ``provenance: "built"``.
+
+Endpoints::
+
+    GET  /v1/health    {"ok": true, "workers": N}
+    GET  /v1/stats     serve counters, per-shard queue state, store stats
+    POST /v1/request   ServeRequest body -> ServeResponse body
+    POST /v1/shutdown  clean async shutdown (same as SIGTERM)
+
+Observability: every serve counter (``serve.requests``, ``serve.builds``,
+``serve.coalesced``, ``serve.store_hits``, ``serve.errors``, degradation
+counters) is kept on the server instance (authoritative, returned by
+``/v1/stats``) *and* mirrored into :data:`repro.obs.TRACER` counters plus
+per-shard queue-depth gauges, so a ``--trace`` of the serving process lines
+up with the rest of the toolchain; the pool's degradations additionally
+bump the always-on :mod:`repro.resilience` counters.  The ``serve.request``
+fault point runs before dispatch, so chaos plans can fail requests at the
+front door.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from repro.ir.errors import IRError
+from repro.obs.tracer import TRACER
+from repro.resilience import InjectedFault, WorkerError, fault_point
+from repro.serve.pool import CoalescingPool
+from repro.serve.protocol import (
+    ServeError,
+    ServeRequest,
+    ServeResponse,
+)
+from repro.serve.worker import execute
+
+__all__ = ["ServeServer", "serve_counters"]
+
+#: Counter names a fresh server starts at zero (stable /v1/stats shape).
+_COUNTER_NAMES = (
+    "serve.requests", "serve.builds", "serve.coalesced", "serve.store_hits",
+    "serve.errors", "serve.retries", "serve.pool_degraded", "serve.serial",
+    "serve.shard_crashes", "serve.store_writes",
+)
+
+
+def _default_workers() -> int:
+    value = os.environ.get("REPRO_SERVE_WORKERS", "").strip()
+    if value:
+        try:
+            return max(1, int(value))
+        except ValueError:
+            pass
+    return 4
+
+
+def _default_timeout() -> Optional[float]:
+    value = os.environ.get("REPRO_SERVE_TIMEOUT", "").strip()
+    if value:
+        try:
+            parsed = float(value)
+            return parsed if parsed > 0 else None
+        except ValueError:
+            pass
+    return None
+
+
+class ServeServer:
+    """One serving process: pool + store + HTTP listener.
+
+    ``config`` is the base :class:`~repro.flow.FlowConfig` every request
+    executes under (``None``: ``FlowConfig.from_env()`` — which also picks
+    up ``REPRO_STORE_DIR`` as the persistence tier).  ``port=0`` binds an
+    ephemeral port; read :attr:`port` after construction.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 workers: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 config=None,
+                 quiet: bool = True) -> None:
+        from repro.flow import FlowConfig
+        self.config = FlowConfig.from_env() if config is None else config
+        self.store = self.config.resolve_store()
+        self.workers = _default_workers() if workers is None else workers
+        self.timeout = _default_timeout() if timeout is None else timeout
+        self.quiet = quiet
+        self.counters: Dict[str, int] = {name: 0 for name in _COUNTER_NAMES}
+        self._counters_lock = threading.Lock()
+        self.started = time.time()
+        self.pool = CoalescingPool(self.workers, timeout=self.timeout,
+                                   counter=self._count)
+        handler = _make_handler(self)
+        try:
+            self.httpd = ThreadingHTTPServer((host, port), handler)
+        except OSError as error:
+            self.pool.stop()
+            raise ServeError(
+                f"cannot bind {host}:{port}: {error}") from error
+        self.httpd.daemon_threads = True
+        self._serve_thread: Optional[threading.Thread] = None
+
+    # -- address -------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- counters ------------------------------------------------------------
+    def _count(self, name: str, delta: int = 1) -> None:
+        with self._counters_lock:
+            self.counters[name] = self.counters.get(name, 0) + delta
+        TRACER.count(name, delta)
+
+    def counter(self, name: str) -> int:
+        with self._counters_lock:
+            return self.counters.get(name, 0)
+
+    def stats_payload(self) -> Dict[str, Any]:
+        with self._counters_lock:
+            counters = dict(self.counters)
+        shards = self.pool.depths()
+        for shard in shards:
+            TRACER.gauge(f"serve.shard{shard['shard']}.depth",
+                         float(shard["depth"]))
+        payload: Dict[str, Any] = {
+            "ok": True,
+            "workers": self.workers,
+            "uptime_seconds": time.time() - self.started,
+            "inflight": self.pool.inflight(),
+            "counters": counters,
+            "shards": shards,
+        }
+        if self.store is not None:
+            report = self.store.stats()
+            payload["store"] = {"root": report.root, "blobs": report.blobs,
+                                "bytes": report.total_bytes,
+                                "quarantined": report.quarantined}
+        return payload
+
+    # -- the request pipeline ------------------------------------------------
+    def handle_request(self, body: Any) -> ServeResponse:
+        """The full tiered pipeline for one parsed JSON request body."""
+        start = time.perf_counter()
+        self._count("serve.requests")
+        try:
+            fault_point("serve.request")
+            request = ServeRequest.from_payload(body)
+        except (ServeError, InjectedFault) as error:
+            self._count("serve.errors")
+            return ServeResponse(
+                ok=False, verb=str((body or {}).get("verb", "?"))
+                if isinstance(body, dict) else "?",
+                key="", seconds=time.perf_counter() - start,
+                error={"type": type(error).__name__, "message": str(error)})
+        key = request.key()
+
+        def build():
+            # Store tier first: a warm key skips the Flow entirely.  The
+            # winner re-checks under single-flight, so racing cold requests
+            # cannot publish twice.
+            if self.store is not None:
+                payload = self.store.get_text("serve", key)
+                if payload is not None:
+                    return payload, "", True
+            result = execute(request, self.config)
+            if self.store is not None:
+                if self.store.put("serve", key, result.payload) is not None:
+                    self._count("serve.store_writes")
+            return result.payload, result.fingerprint, False
+
+        try:
+            outcome = self.pool.run(key, build)
+            payload, fingerprint, from_store = outcome.unwrap()
+        except (IRError, KeyError, WorkerError, InjectedFault,
+                TypeError, ValueError) as error:
+            # KeyError covers UnknownKernelError (and scenario lookups);
+            # TypeError/ValueError cover bad kernel parameters reaching a
+            # builder signature.
+            self._count("serve.errors")
+            message = str(error)
+            if isinstance(error, KeyError) and message.startswith(("'", '"')):
+                message = message[1:-1]
+            return ServeResponse(
+                ok=False, verb=request.verb, key=key,
+                seconds=time.perf_counter() - start,
+                error={"type": type(error).__name__, "message": message})
+        if outcome.coalesced:
+            provenance = "coalesced"
+            self._count("serve.coalesced")
+        elif from_store:
+            provenance = "store-hit"
+            self._count("serve.store_hits")
+        else:
+            provenance = "built"
+            self._count("serve.builds")
+        meta: Dict[str, Any] = {}
+        if outcome.serial:
+            meta["serial"] = True
+        return ServeResponse(
+            ok=True, verb=request.verb, key=key, provenance=provenance,
+            shard=outcome.shard, fingerprint=fingerprint,
+            seconds=time.perf_counter() - start, payload=payload, meta=meta)
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Serve in a background thread (returns immediately)."""
+        if self._serve_thread is not None:
+            return
+        self._serve_thread = threading.Thread(
+            target=self.httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name="serve-http", daemon=True)
+        self._serve_thread.start()
+
+    def stop(self) -> None:
+        """Clean shutdown: stop accepting, drain shards, close the socket."""
+        self.httpd.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+        self.pool.stop()
+        self.httpd.server_close()
+
+    def request_shutdown(self) -> None:
+        """Asynchronous shutdown (from a handler thread or signal path)."""
+        threading.Thread(target=self.httpd.shutdown, daemon=True).start()
+
+    def __enter__(self) -> "ServeServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_counters(server: ServeServer) -> Dict[str, int]:
+    """Snapshot of a server's counters (stable name set)."""
+    with server._counters_lock:
+        return dict(server.counters)
+
+
+def _make_handler(server: ServeServer):
+    class Handler(BaseHTTPRequestHandler):
+        # Keep connections simple and stateless: one request per connection.
+        protocol_version = "HTTP/1.0"
+
+        def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            try:
+                self.wfile.write(body)
+            except (BrokenPipeError, ConnectionResetError):
+                pass        # client went away; nothing to salvage
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            if self.path == "/v1/health":
+                self._send_json(200, {"ok": True, "workers": server.workers})
+            elif self.path == "/v1/stats":
+                self._send_json(200, server.stats_payload())
+            else:
+                self._send_json(404, {"ok": False, "error": {
+                    "type": "NotFound", "message": f"no route {self.path}"}})
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            if self.path == "/v1/shutdown":
+                self._send_json(200, {"ok": True, "shutting_down": True})
+                server.request_shutdown()
+                return
+            if self.path != "/v1/request":
+                self._send_json(404, {"ok": False, "error": {
+                    "type": "NotFound", "message": f"no route {self.path}"}})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                raw = self.rfile.read(length) if length else b""
+                body = json.loads(raw.decode("utf-8")) if raw else {}
+            except (ValueError, UnicodeDecodeError, socket.timeout) as error:
+                server._count("serve.requests")
+                server._count("serve.errors")
+                self._send_json(400, ServeResponse(
+                    ok=False, verb="?", key="",
+                    error={"type": "ServeError",
+                           "message": f"undecodable request body: {error}"}
+                ).to_payload())
+                return
+            try:
+                response = server.handle_request(body)
+            except Exception as error:  # last resort: never drop the socket
+                server._count("serve.errors")
+                response = ServeResponse(
+                    ok=False, verb="?", key="",
+                    error={"type": type(error).__name__,
+                           "message": str(error)})
+            status = 200 if response.ok else (
+                400 if response.error is not None
+                and response.error.get("type") in ("ServeError",
+                                                   "UnknownKernelError")
+                else 500)
+            self._send_json(status, response.to_payload())
+
+        def log_message(self, format: str, *args: Any) -> None:
+            if not server.quiet:  # pragma: no cover - debug aid
+                BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    return Handler

@@ -27,6 +27,11 @@ class TestValidateEnvironment:
         ("REPRO_SIM_ENGINE", "verilator"),
         ("REPRO_FAULT_PLAN", "store.write:frobnicate"),
         ("REPRO_FAULT_PLAN", "not a plan"),
+        ("REPRO_SERVE_WORKERS", "0"),
+        ("REPRO_SERVE_WORKERS", "lots"),
+        ("REPRO_SERVE_TIMEOUT", "-1"),
+        ("REPRO_SERVE_URL", "127.0.0.1:8731"),       # missing scheme
+        ("REPRO_SERVE_URL", "ftp://127.0.0.1:8731"),
     ])
     def test_bad_values_are_reported(self, name, value):
         problems = validate_environment({name: value})
@@ -42,6 +47,10 @@ class TestValidateEnvironment:
         ("REPRO_SIM_ENGINE", "compiled"),
         ("REPRO_FAULT_PLAN", "store.write:io_error@2*3"),
         ("REPRO_STORE_DIR", ""),          # blank disables persistence
+        ("REPRO_SERVE_WORKERS", "4"),
+        ("REPRO_SERVE_TIMEOUT", "30"),
+        ("REPRO_SERVE_URL", "http://127.0.0.1:8731"),
+        ("REPRO_SERVE_URL", ""),          # blank means "not configured"
     ])
     def test_good_values_pass(self, name, value):
         assert validate_environment({name: value}) == []

@@ -1,0 +1,120 @@
+"""``python -m repro serve`` / ``remote`` as real subprocesses.
+
+The slowest serve tests: one server process per class, exercised through
+the actual console entry points — URL announcement on stdout, remote verbs
+against it, ``$REPRO_SERVE_URL`` resolution, and the SIGTERM contract CI's
+service-smoke job relies on (exit 0 + clean-shutdown summary).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.serve import ServeClient
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+
+def spawn_server(tmp_path, *extra):
+    env = dict(os.environ)
+    env["REPRO_STORE_DIR"] = str(tmp_path / "store")
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    env.pop("REPRO_FAULT_PLAN", None)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "2", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env)
+    deadline = time.monotonic() + 30
+    url = None
+    while time.monotonic() < deadline and url is None:
+        line = process.stdout.readline()
+        if line.startswith("serving on "):
+            url = line.split("serving on ", 1)[1].strip()
+        elif process.poll() is not None:
+            break
+    if url is None:
+        process.kill()
+        pytest.fail(f"serve never announced a URL; stderr: "
+                    f"{process.stderr.read()}")
+    ServeClient(url).wait_ready(timeout=15)
+    return process, url, env
+
+
+def run_remote(url, env, *argv):
+    env = dict(env, REPRO_SERVE_URL=url)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "remote", *argv],
+        capture_output=True, text=True, env=env, timeout=120)
+
+
+@pytest.mark.slow
+class TestServeProcess:
+    @pytest.fixture(scope="class")
+    def service(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("serve-cli")
+        process, url, env = spawn_server(tmp_path)
+        yield process, url, env
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+    def test_remote_build_writes_verilog(self, service, tmp_path):
+        _, url, env = service
+        out = tmp_path / "gemm.v"
+        result = run_remote(url, env, "build", "gemm", "-p", "size=4",
+                            "-o", str(out))
+        assert result.returncode == 0, result.stderr
+        assert "module" in out.read_text()
+        assert "built" in result.stderr or "store-hit" in result.stderr
+
+    def test_remote_simulate_reports_cycles(self, service):
+        _, url, env = service
+        result = run_remote(url, env, "simulate", "gemm", "-p", "size=4",
+                            "--seed", "2")
+        assert result.returncode == 0, result.stderr
+        assert "cycles=" in result.stdout and " ok" in result.stdout
+
+    def test_remote_sweep_prints_lanes(self, service):
+        _, url, env = service
+        result = run_remote(url, env, "sweep", "matvec", "-p", "size=4",
+                            "--seeds", "3")
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.count("lane") == 3
+
+    def test_remote_stats_is_json(self, service):
+        _, url, env = service
+        result = run_remote(url, env, "stats")
+        assert result.returncode == 0, result.stderr
+        stats = json.loads(result.stdout)
+        assert stats["counters"]["serve.requests"] >= 3
+
+    def test_remote_unknown_kernel_exits_nonzero(self, service):
+        _, url, env = service
+        result = run_remote(url, env, "build", "no-such-kernel")
+        assert result.returncode == 1
+        assert "UnknownKernelError" in result.stderr
+
+    def test_remote_without_url_is_a_clean_error(self, service):
+        _, _, env = service
+        env = dict(env)
+        env.pop("REPRO_SERVE_URL", None)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "remote", "stats"],
+            capture_output=True, text=True, env=env, timeout=60)
+        assert result.returncode == 2      # typed CLI error, no traceback
+        assert "REPRO_SERVE_URL" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_sigterm_shuts_down_cleanly(self, service):
+        # Last in the class: ends the shared server on purpose.
+        process, _, _ = service
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=30) == 0
+        assert "shut down cleanly" in process.stderr.read()

@@ -1,0 +1,175 @@
+"""The coalescing pool: single flight, sharding, the supervision ladder.
+
+These tests drive the pool with plain callables (no Flow, no HTTP), so each
+scheduling behaviour — coalescing, deterministic shard choice, retry,
+pool→serial degradation, timeout — is pinned in isolation.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.resilience import (
+    FaultPlan,
+    InjectedIOError,
+    WorkerError,
+    install_plan,
+)
+from repro.serve.pool import CoalescingPool
+
+#: sha256-shaped keys the pool shards on (any hex string works).
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+
+@pytest.fixture
+def pool():
+    with CoalescingPool(workers=2) as pool:
+        yield pool
+
+
+class TestSingleFlight:
+    def test_one_execution_for_concurrent_identical_keys(self, pool):
+        calls = []
+        started = threading.Event()
+
+        def build():
+            started.set()
+            calls.append(1)
+            time.sleep(0.3)         # hold the entry in flight
+            return "artifact"
+
+        outcomes = [None] * 6
+
+        def hit(index):
+            outcomes[index] = pool.run(KEY_A, build)
+
+        threads = [threading.Thread(target=hit, args=(index,))
+                   for index in range(6)]
+        threads[0].start()
+        started.wait(timeout=5)     # the winner is executing; pile on
+        for thread in threads[1:]:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(calls) == 1
+        coalesced = [outcome.coalesced for outcome in outcomes]
+        assert coalesced.count(False) == 1 and coalesced.count(True) == 5
+        assert {outcome.unwrap() for outcome in outcomes} == {"artifact"}
+        # the result object itself is shared, not copied
+        assert len({id(outcome.result) for outcome in outcomes}) == 1
+
+    def test_sequential_same_key_runs_again(self, pool):
+        calls = []
+        pool.run(KEY_A, lambda: calls.append(1))
+        pool.run(KEY_A, lambda: calls.append(1))
+        assert len(calls) == 2      # no entry in flight the second time
+
+
+class TestSharding:
+    def test_shard_choice_is_deterministic(self, pool):
+        assert pool.shard_of(KEY_A) == int(KEY_A, 16) % 2
+        assert pool.shard_of(KEY_A) == pool.shard_of(KEY_A)
+        assert pool.shard_of(KEY_A) != pool.shard_of(KEY_B)
+
+    def test_outcome_reports_the_executing_shard(self, pool):
+        outcome = pool.run(KEY_A, lambda: "x")
+        assert outcome.shard == pool.shard_of(KEY_A)
+
+    def test_depths_covers_every_shard(self, pool):
+        depths = pool.depths()
+        assert [entry["shard"] for entry in depths] == [0, 1]
+        assert all(entry["alive"] for entry in depths)
+        pool.run(KEY_A, lambda: None)
+        pool.run(KEY_B, lambda: None)
+        assert sum(entry["dispatched"] for entry in pool.depths()) == 2
+
+
+class TestSupervision:
+    def test_injected_fault_is_retried_in_place(self):
+        counts = []
+        with CoalescingPool(workers=1, retries=1,
+                            counter=counts.append) as pool:
+            attempts = []
+
+            def flaky():
+                attempts.append(1)
+                if len(attempts) == 1:
+                    raise InjectedIOError("first attempt dies")
+                return "recovered"
+
+            assert pool.run(KEY_A, flaky).unwrap() == "recovered"
+            assert len(attempts) == 2
+        assert counts.count("serve.retries") == 1
+
+    def test_exhausted_retries_raise_typed_worker_error(self):
+        with CoalescingPool(workers=1, retries=1) as pool:
+            def doomed():
+                raise InjectedIOError("always dies")
+
+            outcome = pool.run(KEY_A, doomed)
+            with pytest.raises(WorkerError) as excinfo:
+                outcome.unwrap()
+            assert "2 attempt(s)" in str(excinfo.value)
+
+    def test_real_exceptions_pass_through_untyped(self, pool):
+        def broken():
+            raise KeyError("unknown kernel")
+
+        with pytest.raises(KeyError):
+            pool.run(KEY_A, broken).unwrap()
+
+    def test_timeout_resolves_with_typed_error(self):
+        with CoalescingPool(workers=1) as pool:
+            outcome = pool.run(KEY_A, lambda: time.sleep(30),
+                               timeout=0.2)
+            with pytest.raises(WorkerError) as excinfo:
+                outcome.unwrap()
+            assert "timed out" in str(excinfo.value)
+
+
+class TestDegradation:
+    def test_shard_crash_degrades_to_serial_with_same_result(self):
+        counts = []
+        with CoalescingPool(workers=2, counter=counts.append) as pool:
+            with install_plan(FaultPlan.parse("serve.shard:error")):
+                outcome = pool.run(KEY_A, lambda: "rescued")
+            assert outcome.unwrap() == "rescued"
+            assert outcome.serial
+            # the crashed shard is reported dead, the other stays alive
+            dead = [entry for entry in pool.depths()
+                    if not entry["alive"]]
+            assert len(dead) == 1
+            assert dead[0]["shard"] == pool.shard_of(KEY_A)
+            # later keys on the broken shard run serially up front
+            outcome2 = pool.run(KEY_A, lambda: "still served")
+            assert outcome2.unwrap() == "still served"
+            assert outcome2.serial
+        assert counts.count("serve.shard_crashes") == 1
+        assert counts.count("serve.pool_degraded") == 1
+        assert counts.count("serve.serial") == 1
+
+    def test_healthy_shard_keeps_working_after_a_crash(self):
+        with CoalescingPool(workers=2) as pool:
+            with install_plan(FaultPlan.parse("serve.shard:error")):
+                pool.run(KEY_A, lambda: "rescued")
+            other = KEY_B if pool.shard_of(KEY_B) != pool.shard_of(KEY_A) \
+                else KEY_A
+            if pool.shard_of(other) != pool.shard_of(KEY_A):
+                outcome = pool.run(other, lambda: "fine")
+                assert outcome.unwrap() == "fine"
+                assert not outcome.serial
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent(self):
+        pool = CoalescingPool(workers=2)
+        pool.run(KEY_A, lambda: "x")
+        pool.stop()
+        pool.stop()
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CoalescingPool(workers=0)

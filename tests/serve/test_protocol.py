@@ -1,0 +1,137 @@
+"""The wire protocol: canonical requests, keys, envelopes, validation.
+
+The request key is what the whole service hangs off — single-flight,
+sharding, and the store blob all use it — so its invariances (parameter
+order, defaulted fields, protocol version) are pinned here as facts.
+"""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    PROVENANCES,
+    VERBS,
+    ServeError,
+    ServeRequest,
+    ServeResponse,
+    canonical_payload,
+    payload_key,
+    validation_errors,
+)
+
+
+class TestCanonicalRequest:
+    def test_param_order_is_irrelevant(self):
+        left = ServeRequest.make("build", "gemm", {"size": 8, "depth": 2})
+        right = ServeRequest.make("build", "gemm", {"depth": 2, "size": 8})
+        assert left == right
+        assert left.key() == right.key()
+
+    def test_defaulted_fields_key_like_explicit_defaults(self):
+        implicit = ServeRequest.make("simulate", "gemm", {"size": 4})
+        explicit = ServeRequest.from_payload(
+            {"verb": "simulate", "target": "gemm", "params": {"size": 4},
+             "seed": 0})
+        assert implicit.key() == explicit.key()
+
+    def test_different_requests_have_different_keys(self):
+        base = ServeRequest.make("build", "gemm", {"size": 4})
+        assert base.key() != ServeRequest.make(
+            "build", "gemm", {"size": 8}).key()
+        assert base.key() != ServeRequest.make(
+            "simulate", "gemm", {"size": 4}).key()
+        assert base.key() != ServeRequest.make(
+            "build", "gemm", {"size": 4}, pipeline="none").key()
+        assert base.key() != ServeRequest.make(
+            "simulate", "gemm", {"size": 4}, seed=1).key()
+
+    def test_key_is_sha256_hex(self):
+        key = ServeRequest.make("build", "gemm").key()
+        assert len(key) == 64
+        int(key, 16)            # parses as hex
+
+    def test_protocol_version_is_folded_into_the_key(self):
+        request = ServeRequest.make("build", "gemm")
+        canonical = json.loads(request.canonical())
+        assert canonical["v"] == PROTOCOL_VERSION
+        mutated = dict(canonical, v=PROTOCOL_VERSION + 1)
+        assert payload_key(json.dumps(
+            mutated, sort_keys=True, separators=(",", ":"))) != request.key()
+
+    def test_request_round_trips_through_its_payload(self):
+        request = ServeRequest.make("sweep", "matvec", {"size": 4}, seeds=3,
+                                    engine="interpreted")
+        assert ServeRequest.from_payload(request.to_payload()) == request
+
+
+class TestRequestValidation:
+    @pytest.mark.parametrize("body,fragment", [
+        ("not an object", "JSON object"),
+        ({"verb": "frobnicate", "target": "gemm"}, "unknown verb"),
+        ({"verb": "build"}, "target"),
+        ({"verb": "build", "target": ""}, "target"),
+        ({"verb": "build", "target": "gemm", "params": [1]}, "params"),
+        ({"verb": "build", "target": "gemm", "params": {"size": "big"}},
+         "integer"),
+        ({"verb": "build", "target": "gemm", "params": {"size": True}},
+         "integer"),
+        ({"verb": "simulate", "target": "gemm", "seed": "zero"}, "seed"),
+        ({"verb": "sweep", "target": "gemm", "seeds": 0}, "seeds"),
+        ({"verb": "build", "target": "gemm", "pipeline": 3}, "pipeline"),
+        ({"verb": "build", "target": "gemm", "bogus": 1}, "unknown"),
+    ])
+    def test_malformed_bodies_raise_typed_errors(self, body, fragment):
+        with pytest.raises(ServeError) as excinfo:
+            ServeRequest.from_payload(body)
+        assert fragment in str(excinfo.value)
+        assert validation_errors(body) != []
+
+    def test_every_verb_parses(self):
+        for verb in VERBS:
+            parsed = ServeRequest.from_payload(
+                {"verb": verb, "target": "gemm"})
+            assert parsed.verb == verb
+        assert validation_errors({"verb": "build", "target": "gemm"}) == []
+
+
+class TestCanonicalPayload:
+    def test_encoding_is_sorted_and_compact(self):
+        text = canonical_payload({"b": 2, "a": {"y": 1, "x": 0}})
+        assert text == '{"a":{"x":0,"y":1},"b":2}'
+
+    def test_byte_identity_is_string_equality(self):
+        one = canonical_payload({"cycles": 48, "ok": True})
+        two = canonical_payload({"ok": True, "cycles": 48})
+        assert one == two
+
+
+class TestResponseEnvelope:
+    def test_round_trip(self):
+        response = ServeResponse(
+            ok=True, verb="build", key="ab" * 32, provenance="coalesced",
+            shard=2, fingerprint="f" * 12, seconds=0.25,
+            payload=canonical_payload({"verilog": "module m; endmodule"}),
+            meta={"serial": True})
+        parsed = ServeResponse.from_payload(response.to_payload())
+        assert parsed == response
+        assert parsed.result()["verilog"].startswith("module")
+
+    def test_provenances_are_the_documented_set(self):
+        assert PROVENANCES == ("built", "coalesced", "store-hit")
+
+    def test_error_response_raises_on_result(self):
+        response = ServeResponse(
+            ok=False, verb="build", key="", error={
+                "type": "UnknownKernelError", "message": "unknown kernel"})
+        parsed = ServeResponse.from_payload(response.to_payload())
+        with pytest.raises(ServeError) as excinfo:
+            parsed.result()
+        assert "UnknownKernelError" in str(excinfo.value)
+
+    def test_missing_fields_are_rejected(self):
+        with pytest.raises(ServeError):
+            ServeResponse.from_payload({"ok": True})
+        with pytest.raises(ServeError):
+            ServeResponse.from_payload([])

@@ -1,0 +1,242 @@
+"""The serving tier end to end, in process: HTTP round trips, the three
+provenance tiers, store concurrency under the service, and chaos plans.
+
+Every test spins a real :class:`ServeServer` (ephemeral port) and talks to
+it through the real :class:`ServeClient` — the same wire path as
+``python -m repro remote`` — against a per-test store directory.
+"""
+
+import threading
+
+import pytest
+
+from repro.flow import FlowConfig
+from repro.resilience import FaultPlan, install_plan
+from repro.serve import ServeClient, ServeRequest, ServeServer
+from repro.store import store_counters
+
+KERNEL = ("gemm", {"size": 4})
+
+
+@pytest.fixture
+def server(tmp_path):
+    config = FlowConfig.from_env().with_(store_dir=str(tmp_path / "store"))
+    with ServeServer(config=config, workers=2) as server:
+        yield server
+
+
+@pytest.fixture
+def client(server):
+    return ServeClient(server.url)
+
+
+class TestEndpoints:
+    def test_health_and_stats(self, client, server):
+        assert client.health() == {"ok": True, "workers": 2}
+        stats = client.stats()
+        assert stats["ok"] and stats["workers"] == 2
+        assert set(stats["counters"]) >= {
+            "serve.requests", "serve.builds", "serve.coalesced",
+            "serve.store_hits", "serve.errors"}
+        assert [shard["shard"] for shard in stats["shards"]] == [0, 1]
+        assert stats["store"]["root"] == server.store.root
+
+    def test_unknown_route_is_a_typed_404(self, client):
+        # HTTP errors still carry a JSON body the client surfaces verbatim.
+        body = client._round_trip("/v1/nonsense")
+        assert body["ok"] is False
+        assert body["error"]["type"] == "NotFound"
+
+
+class TestVerbs:
+    def test_build_round_trip(self, client):
+        response = client.build(*KERNEL)
+        assert response.ok and response.provenance == "built"
+        assert response.shard in (0, 1)
+        assert len(response.fingerprint) == 16      # module_fingerprint hex
+        int(response.fingerprint, 16)
+        result = response.result()
+        assert "module" in result["verilog"]
+        assert result["resources"]["lut"] > 0
+
+    def test_simulate_round_trip(self, client):
+        result = client.simulate("matvec", {"size": 4}, seed=2).result()
+        assert result["ok"] is True and result["cycles"] > 0
+        assert result["seed"] == 2
+        assert result["outputs"]            # writable interfaces, as lists
+
+    def test_sweep_round_trip(self, client):
+        result = client.sweep("matvec", {"size": 4}, seeds=3).result()
+        assert len(result["lanes"]) == 3
+        assert result["mismatches"] == 0
+        assert all(lane["ok"] for lane in result["lanes"])
+
+    def test_compose_round_trip(self, client):
+        result = client.compose("sorted_scan", seed=1).result()
+        assert result["ok"] is True
+        assert result["nodes"] >= 2 and result["edges"] >= 1
+
+
+class TestProvenanceTiers:
+    def test_second_request_is_a_store_hit_with_identical_bytes(
+            self, client, server):
+        first = client.build(*KERNEL)
+        second = client.build(*KERNEL)
+        assert first.provenance == "built"
+        assert second.provenance == "store-hit"
+        assert second.payload == first.payload
+        assert server.counter("serve.builds") == 1
+        assert server.counter("serve.store_hits") == 1
+        assert server.counter("serve.store_writes") == 1
+
+    def test_concurrent_identical_requests_coalesce(self, client, server):
+        # Stall the one real execution so every concurrent request piles
+        # onto the in-flight entry instead of racing it to the store.
+        responses = [None] * 8
+
+        def hit(index):
+            responses[index] = client.build(*KERNEL)
+
+        with install_plan(FaultPlan.parse("serve.execute:timeout(0.8)")):
+            threads = [threading.Thread(target=hit, args=(index,))
+                       for index in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert all(response.ok for response in responses)
+        provenances = sorted(r.provenance for r in responses)
+        assert provenances.count("built") == 1
+        assert provenances.count("coalesced") == 7
+        assert len({r.payload for r in responses}) == 1
+        assert server.counter("serve.builds") == 1
+        assert server.counter("serve.coalesced") == 7
+
+    def test_one_store_publish_per_key_under_concurrency(
+            self, client, server):
+        before = store_counters()
+        responses = [None] * 6
+
+        def hit(index):
+            responses[index] = client.build(*KERNEL)
+
+        with install_plan(FaultPlan.parse("serve.execute:timeout(0.8)")):
+            threads = [threading.Thread(target=hit, args=(index,))
+                       for index in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        after = store_counters()
+        assert all(response.ok for response in responses)
+        # One serve blob + the Flow's own stage blobs — published once
+        # each, never re-raced — and zero failed/starved writes.
+        assert server.counter("serve.store_writes") == 1
+        assert after["write_failures"] == before["write_failures"]
+
+
+class TestErrors:
+    def test_unknown_kernel_is_a_typed_400(self, client):
+        response = client.build("no-such-kernel")
+        assert not response.ok
+        assert response.error["type"] == "UnknownKernelError"
+        assert "no-such-kernel" in response.error["message"]
+
+    def test_bad_request_body_is_a_typed_400(self, client, server):
+        response = client._round_trip(
+            "/v1/request", {"verb": "frobnicate", "target": "x"})
+        assert response["ok"] is False
+        assert response["error"]["type"] == "ServeError"
+        assert server.counter("serve.errors") == 1
+
+    def test_bad_kernel_params_are_a_typed_error(self, client):
+        response = client.build("gemm", {"bogus_param": 3})
+        assert not response.ok
+        assert response.error["type"] == "TypeError"
+
+    def test_errors_are_not_memoized(self, client, server):
+        assert not client.build("no-such-kernel").ok
+        good = client.build(*KERNEL)
+        assert good.ok and good.provenance == "built"
+
+
+class TestChaos:
+    def test_shard_crash_degrades_with_identical_payload(self, tmp_path):
+        config = FlowConfig.from_env().with_(
+            store_dir=str(tmp_path / "healthy"))
+        with ServeServer(config=config, workers=2) as healthy:
+            reference = ServeClient(healthy.url).build(*KERNEL)
+        assert reference.ok
+
+        config = FlowConfig.from_env().with_(
+            store_dir=str(tmp_path / "chaos"))
+        with ServeServer(config=config, workers=2) as server:
+            client = ServeClient(server.url)
+            with install_plan(FaultPlan.parse("serve.shard:error")):
+                response = client.build(*KERNEL)
+            assert response.ok
+            assert response.meta.get("serial") is True
+            assert response.payload == reference.payload
+            assert server.counter("serve.pool_degraded") == 1
+            assert server.counter("serve.shard_crashes") == 1
+            # the service keeps answering on the remaining shard
+            follow_up = client.simulate("matvec", {"size": 4})
+            assert follow_up.ok
+
+    def test_faulted_request_is_typed_error_xor_identical_bytes(
+            self, tmp_path):
+        """The PR 7 recovery contract at the service boundary: under any
+        fault plan a request either fails with a typed error or returns
+        exactly the fault-free bytes — never a third thing."""
+        config = FlowConfig.from_env().with_(
+            store_dir=str(tmp_path / "ref"))
+        with ServeServer(config=config, workers=2) as ref_server:
+            reference = ServeClient(ref_server.url).build(*KERNEL)
+
+        plans = ["serve.request:error", "serve.execute:io_error*4",
+                 "serve.shard:error", "serve.execute:timeout(0.1)",
+                 "store.write:io_error"]
+        for index, spec in enumerate(plans):
+            config = FlowConfig.from_env().with_(
+                store_dir=str(tmp_path / f"plan{index}"))
+            with ServeServer(config=config, workers=2) as server:
+                client = ServeClient(server.url)
+                with install_plan(FaultPlan.parse(spec)):
+                    response = client.build(*KERNEL)
+                if response.ok:
+                    assert response.payload == reference.payload, spec
+                else:
+                    assert response.error is not None, spec
+                    assert response.error["type"] in (
+                        "InjectedError", "WorkerError"), spec
+
+
+class TestRequestPipelineDirect:
+    """handle_request without HTTP: the pipeline is usable embedded too."""
+
+    def test_counters_track_the_tiers(self, server):
+        body = ServeRequest.make(*(("build",) + KERNEL)).to_payload()
+        first = server.handle_request(body)
+        second = server.handle_request(body)
+        assert first.ok and second.ok
+        assert (first.provenance, second.provenance) == ("built",
+                                                         "store-hit")
+        counters = server.stats_payload()["counters"]
+        assert counters["serve.requests"] == 2
+        assert counters["serve.builds"] == 1
+        assert counters["serve.store_hits"] == 1
+
+    def test_store_disabled_still_serves(self, tmp_path):
+        config = FlowConfig.from_env().with_(store_dir="")
+        with ServeServer(config=config, workers=1) as server:
+            assert server.store is None
+            body = ServeRequest.make(*(("build",) + KERNEL)).to_payload()
+            first = server.handle_request(body)
+            second = server.handle_request(body)
+            assert first.ok and second.ok
+            # no store tier: every sequential request rebuilds
+            assert (first.provenance, second.provenance) == ("built",
+                                                             "built")
+            assert first.payload == second.payload
