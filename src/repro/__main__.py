@@ -466,7 +466,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="pass pipeline (default: optimize)")
         if engine:
             sub.add_argument("--engine", default=None,
-                             help="simulation engine (default: process/env)")
+                             help="simulation engine (interpreted, compiled,"
+                                  " differential or vector; default:"
+                                  " process/env)")
 
     def add_obs_options(sub, profile=True):
         sub.add_argument("--trace", metavar="FILE", default=None,
@@ -520,7 +522,9 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("optimize", "verify", "none", "legacy"),
                          help="pass pipeline (default: optimize)")
     compose.add_argument("--engine", default=None,
-                         help="simulation engine (default: process/env)")
+                         help="simulation engine (interpreted, compiled,"
+                              " differential or vector; default:"
+                              " process/env)")
     compose.add_argument("--seed", type=int, default=0,
                          help="stimulus seed for the validation run")
     compose.add_argument("--seeds", type=int, default=None,
@@ -575,7 +579,9 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("-p", "--param", action="append", metavar="KEY=VALUE",
                        help="kernel size parameter (repeatable)")
     stats.add_argument("--engine", default=None,
-                       help="simulation engine (default: process/env)")
+                       help="simulation engine (interpreted, compiled,"
+                            " differential or vector; default:"
+                            " process/env)")
     stats.add_argument("--seeds", type=int, default=4,
                        help="batched-sweep lanes in the workload (default 4)")
     stats.add_argument("--tree", action="store_true",

@@ -105,7 +105,8 @@ class FlowConfig:
     and cache fields fall back to their ``REPRO_*`` environment defaults.
     """
 
-    #: Simulation engine ("interpreted", "compiled", "differential").
+    #: Simulation engine ("interpreted", "compiled", "differential" or the
+    #: fused whole-run "vector").
     engine: Optional[str] = None
     #: Pass pipeline run by :meth:`Flow.optimized`: "optimize" (the paper's
     #: full auto-opt pipeline), "verify" (schedule verification only),
@@ -153,11 +154,11 @@ class FlowConfig:
                 f"{list(PIPELINES)}"
             )
         if self.engine is not None:
-            from repro.sim.engine import ENGINES
-            if self.engine not in ENGINES:
+            from repro.sim.engine import available_engines
+            if self.engine not in available_engines():
                 raise FlowError(
                     f"unknown simulation engine {self.engine!r}; choose one "
-                    f"of {sorted(ENGINES)}"
+                    f"of {available_engines()}"
                 )
         if self.dse_jobs is not None and self.dse_jobs < 1:
             raise FlowError(f"dse_jobs must be >= 1, got {self.dse_jobs}")
@@ -893,10 +894,32 @@ class Flow:
         from repro.sim.testbench import run_design_impl
         design_artifact = self.verilog()
         engine_name = self.config.resolve_engine(engine)
+        steady = None
+        fallback_provenance: tuple = ()
+        if engine_name == "vector":
+            # The fused engine is tied to the static-timing analysis: a
+            # design whose schedule has no provable steady state executes on
+            # the (semantically identical) compiled engine instead, and the
+            # substitution is typed provenance rather than a silent swap.
+            from repro.sim.engine.vector import (VectorUnsupported,
+                                                 steady_state_of)
+            try:
+                steady = steady_state_of(self.optimized().value, self.top)
+            except VectorUnsupported as error:
+                from repro.resilience import bump
+                bump("flow.vector_fallback")
+                TRACER.count("flow.vector_fallback")
+                TRACER.event("flow.vector_fallback", cat="flow",
+                             flow=self.name, error=str(error))
+                engine_name = "compiled"
+                fallback_provenance = (
+                    ("fallback", "compiled"),
+                    ("fallback_reason", "no-static-steady-state"))
         resolved = self._resolve_inputs(seed, inputs)
         scalars = {**self.scalar_args, **(scalar_args or {})}
         provenance = (("verilog", design_artifact.fingerprint),
-                      ("engine", engine_name), ("seed", str(seed)))
+                      ("engine", engine_name), ("seed", str(seed))
+                      ) + fallback_provenance
         profiler = None
         if self.config.profile if profile is None else profile:
             from repro.obs.simprofile import SimProfiler
@@ -920,6 +943,7 @@ class Flow:
                             else max_cycles),
                 engine=name,
                 profiler=profiler,
+                steady_state=steady if name == "vector" else None,
             )
 
         start = _time.perf_counter()
@@ -936,6 +960,12 @@ class Flow:
                 engine_name = self._fallback_engine(engine_name, error)
                 run = run_engine(engine_name)
                 provenance += (("fallback", "interpreted"),)
+        if getattr(run, "fallback", None):
+            # run_design_impl substituted the compiled engine mid-run (e.g.
+            # engine="vector" with external models or a profiler attached).
+            engine_name = run.engine or engine_name
+            provenance += (("fallback", "compiled"),
+                           ("fallback_reason", run.fallback))
         seconds = _time.perf_counter() - start
         if run.profile is not None and self.graph is not None:
             run.profile.bind_stream_edges(
@@ -953,15 +983,18 @@ class Flow:
         Only compile-side failures (simulation/lowering errors, injected
         faults) fall back, and only when the failing engine is not already
         the interpreter.  A :class:`DivergenceError` is a *finding* of the
-        differential engine, never a reason to retry.  Anything else —
-        Flow misconfiguration, stimulus errors, MemoryError — re-raises.
+        differential engine, and a :class:`SimulationTimeout` a property of
+        the design — never reasons to retry on another engine.  Anything
+        else — Flow misconfiguration, stimulus errors, MemoryError —
+        re-raises.
         """
         from repro.ir.errors import LoweringError, SimulationError
         from repro.resilience import InjectedFault, bump
         from repro.sim.engine.differential import DivergenceError
+        from repro.sim.engine.window import SimulationTimeout
         if (not self.config.engine_fallback
                 or engine_name == "interpreted"
-                or isinstance(error, DivergenceError)
+                or isinstance(error, (DivergenceError, SimulationTimeout))
                 or not isinstance(error, (SimulationError, LoweringError,
                                           InjectedFault))):
             raise error

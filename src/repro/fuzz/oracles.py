@@ -194,7 +194,15 @@ def check_pipeline(spec: ProgramSpec) -> Optional[OracleFailure]:
 
 def check_engines(spec: ProgramSpec,
                   lanes: int = DEFAULT_LANES) -> Optional[OracleFailure]:
-    """Interpreted, compiled and batched engines must produce one trace."""
+    """Interpreted, compiled, batched and vector engines: one trace.
+
+    Lane 0 runs the differential engine (interpreted + compiled in lockstep,
+    plus its fused-run vector leg); every lane is then replayed through the
+    vector engine and the batched engine and compared bit-for-bit.  A vector
+    run that fell back to the compiled engine (``run.fallback``) is the
+    typed-unsupported path — the substitution itself is the behaviour under
+    test, so the comparison is skipped rather than failed.
+    """
     from repro.ir.errors import SimulationError
     from repro.sim.engine.batch import run_design_batch_impl
     from repro.sim.engine.differential import DivergenceError
@@ -239,6 +247,42 @@ def check_engines(spec: ProgramSpec,
                 f"design never pulsed done within {MAX_CYCLES} cycles "
                 f"(lane {lane})")
         single_runs.append(run)
+
+    for lane, (inputs, single) in enumerate(zip(lane_inputs, single_runs)):
+        try:
+            replay = run_design_impl(design, memories=memories_for(inputs),
+                                     max_cycles=MAX_CYCLES, drain_cycles=16,
+                                     engine="vector")
+        except SimulationError as error:
+            return OracleFailure(
+                "engines", f"vector engine crashed (lane {lane}): {error}")
+        if replay.fallback is not None:
+            continue
+        if replay.cycles != single.cycles:
+            return OracleFailure(
+                "engines",
+                f"vector lane {lane} took {replay.cycles} cycles, the "
+                f"per-cycle run took {single.cycles}")
+        for name in program.output_names:
+            expected = single.memory_array(name)
+            produced = replay.memory_array(name)
+            if not np.array_equal(produced, expected):
+                bad = np.argwhere(np.asarray(produced) != np.asarray(expected))
+                return OracleFailure(
+                    "engines",
+                    f"vector lane {lane} output '{name}' differs from the "
+                    f"per-cycle run at {len(bad)} position(s), first at "
+                    f"{tuple(bad[0])}: vector="
+                    f"{np.asarray(produced)[tuple(bad[0])]} per-cycle="
+                    f"{np.asarray(expected)[tuple(bad[0])]}")
+        for name, memory in single.memories.items():
+            other = replay.memories[name]
+            if (other.reads, other.writes) != (memory.reads, memory.writes):
+                return OracleFailure(
+                    "engines",
+                    f"vector lane {lane} access counts on '{name}' differ: "
+                    f"{(other.reads, other.writes)} != "
+                    f"{(memory.reads, memory.writes)}")
 
     try:
         batch = run_design_batch_impl(

@@ -18,12 +18,16 @@ multiplicative ``--tolerance`` (default 1.5x):
 
 Everything else (cycles, lane counts, DSE tallies) is correctness-tested
 elsewhere and ignored here.  A baseline record with no fresh counterpart
-fails the gate — a silently vanished benchmark is itself a regression.
+fails the gate — a silently vanished benchmark is itself a regression.  The
+reverse is not: a fresh record with no baseline is a *new* benchmark, which
+passes with an explicit ``no baseline, recorded`` note so the log shows it
+needs a baseline refresh rather than being silently unchecked.
 
 ``--self-test`` proves the gate has teeth: it synthesizes a 2x slowdown of
 the fresh records, runs the same comparison, and exits 0 only if the gate
-*failed* on it.  CI runs both modes; refresh instructions live in the
-README's "Benchmarks" section.
+*failed* on it — and also injects a synthetic brand-new record to prove new
+benchmarks never trip the gate by themselves.  CI runs both modes; refresh
+instructions live in the README's "Benchmarks" section.
 """
 
 from __future__ import annotations
@@ -35,7 +39,7 @@ from typing import Any, Dict, List, Mapping, Sequence
 
 from repro.obs.metrics import validate_bench_payload
 
-__all__ = ["compare", "load_records", "main", "slowdown"]
+__all__ = ["compare", "load_records", "main", "new_records", "slowdown"]
 
 #: Fresh wall-clock may grow to baseline * TOLERANCE before the gate trips.
 DEFAULT_TOLERANCE = 1.5
@@ -98,6 +102,17 @@ def compare(baseline: Mapping[str, Mapping[str, Any]],
     return problems
 
 
+def new_records(baseline: Mapping[str, Mapping[str, Any]],
+                fresh: Mapping[str, Mapping[str, Any]]) -> List[str]:
+    """Names of fresh records with no baseline counterpart (sorted).
+
+    These pass the gate — a brand-new benchmark cannot regress — but the
+    gate announces each one so the committed baseline gets refreshed instead
+    of the new metric staying unchecked forever.
+    """
+    return sorted(set(fresh) - set(baseline))
+
+
 def slowdown(records: Mapping[str, Mapping[str, Any]],
              factor: float = 2.0) -> Dict[str, Dict[str, Any]]:
     """A synthetic regression: every seconds-metric ``factor`` slower, every
@@ -146,17 +161,29 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
 
     if arguments.self_test:
-        problems = compare(baseline, slowdown(fresh),
-                           tolerance=arguments.tolerance)
+        slowed = slowdown(fresh)
+        # A brand-new benchmark (no baseline) must never trip the gate by
+        # itself, even alongside real regressions.
+        slowed["benchgate-self-test/brand-new"] = {
+            "name": "benchgate-self-test/brand-new", "seconds": 1.0}
+        problems = compare(baseline, slowed, tolerance=arguments.tolerance)
         if not problems:
             print("benchgate: SELF-TEST FAILED — a synthetic 2x slowdown "
                   "passed the gate", file=sys.stderr)
             return 1
+        named = [p for p in problems if "brand-new" in p]
+        if named:
+            print("benchgate: SELF-TEST FAILED — a baseline-less record "
+                  f"tripped the gate: {named[0]}", file=sys.stderr)
+            return 1
         print(f"benchgate: self-test ok — synthetic 2x slowdown tripped "
-              f"{len(problems)} check(s)")
+              f"{len(problems)} check(s), brand-new record tripped none")
         return 0
 
     problems = compare(baseline, fresh, tolerance=arguments.tolerance)
+    for name in new_records(baseline, fresh):
+        print(f"benchgate: note — {name}: no baseline, recorded "
+              "(refresh benchmarks/baseline.json to gate it)")
     checked = sum(1 for record in baseline.values() for metric in record
                   if _numeric(record[metric])
                   and ("seconds" in metric or "speedup" in metric))

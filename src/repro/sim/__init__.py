@@ -1,9 +1,12 @@
 """Cycle-accurate simulation of generated designs (RTL-simulation substitute).
 
-Two execution engines share one API: the interpreted reference simulator and
-the compiled, event-driven engine (``run_design(..., engine="compiled")``);
+Several execution engines share one API: the interpreted reference simulator,
+the compiled event-driven engine (``run_design(..., engine="compiled")``) and
+the fused whole-run vector engine (``engine="vector"``, which enters the
+interpreter once per design rather than once per cycle);
 :func:`run_design_batch` additionally vectorizes one compiled design over N
-stimulus sets.  See :mod:`repro.sim.engine` for engine selection.
+stimulus sets.  See :mod:`repro.sim.engine` for engine selection.  Runs that
+never assert ``done`` raise :class:`SimulationTimeout` in every engine.
 """
 
 from repro.sim.engine import (
@@ -13,11 +16,15 @@ from repro.sim.engine import (
     CompiledSimulator,
     DifferentialSimulator,
     DivergenceError,
+    SimulationTimeout,
+    VectorUnsupported,
     available_engines,
     create_simulator,
     get_default_engine,
+    last_drain_cycle,
     run_design_batch,
     run_design_batch_impl,
+    run_design_vector,
     set_cache_capacity,
     set_default_engine,
 )
@@ -44,14 +51,18 @@ __all__ = [
     "DivergenceError",
     "InterfaceMemory",
     "SimulationRun",
+    "SimulationTimeout",
+    "VectorUnsupported",
     "available_engines",
     "create_simulator",
     "flatten_tensor",
     "get_default_engine",
+    "last_drain_cycle",
     "run_design",
     "run_design_batch",
     "run_design_batch_impl",
     "run_design_impl",
+    "run_design_vector",
     "set_cache_capacity",
     "set_default_engine",
     "unflatten_tensor",

@@ -20,6 +20,14 @@ sets over one compiled design; it has its own entry point,
 :func:`~repro.sim.engine.batch.run_design_batch`, because its state is
 per-lane arrays rather than ints.
 
+A fourth name, ``vector`` (:mod:`~repro.sim.engine.vector`), is a *run-level*
+engine: it compiles the entire start-to-done run — prologue, steady state,
+drain — into one fused generated program, so there is no per-cycle simulator
+object to instantiate.  It is selectable everywhere a per-cycle engine is
+(``run_design``, ``REPRO_SIM_ENGINE``, ``FlowConfig``, ``--engine``) but not
+through :func:`create_simulator`; designs without a static steady state fall
+back to the compiled engine with typed provenance.
+
 Select an engine per call (``run_design(..., engine="compiled")``), per
 process (:func:`set_default_engine`) or per environment
 (``REPRO_SIM_ENGINE=compiled``).
@@ -28,7 +36,7 @@ process (:func:`set_default_engine`) or per environment
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.ir.errors import SimulationError
 from repro.sim.engine.batch import (
@@ -46,6 +54,13 @@ from repro.sim.engine.cache import (
 from repro.sim.engine.compiled import CompiledSimulator
 from repro.sim.engine.differential import DifferentialSimulator, DivergenceError
 from repro.sim.engine.levelize import LoweredDesign, lower_design
+from repro.sim.engine.vector import (
+    VectorState,
+    VectorUnsupported,
+    run_design_vector,
+    steady_state_of,
+)
+from repro.sim.engine.window import SimulationTimeout, last_drain_cycle
 from repro.sim.verilog_sim import ExternalModel, Simulator
 from repro.verilog.ast import Design
 
@@ -55,12 +70,17 @@ ENGINES: Dict[str, type] = {
     "differential": DifferentialSimulator,
 }
 
+#: Run-level engines: valid everywhere an engine *name* is accepted, but they
+#: execute whole runs through :func:`repro.sim.testbench.run_design_impl`
+#: rather than exposing a per-cycle simulator class.
+RUN_ENGINES: Tuple[str, ...] = ("vector",)
+
 _default_engine = os.environ.get("REPRO_SIM_ENGINE", "interpreted")
 
 
 def available_engines() -> list:
     """Names accepted by ``run_design(..., engine=...)``."""
-    return sorted(ENGINES)
+    return sorted([*ENGINES, *RUN_ENGINES])
 
 
 def get_default_engine() -> str:
@@ -71,7 +91,7 @@ def get_default_engine() -> str:
 def set_default_engine(name: str) -> str:
     """Set the process-wide default engine; returns the previous default."""
     global _default_engine
-    if name not in ENGINES:
+    if name not in ENGINES and name not in RUN_ENGINES:
         raise SimulationError(
             f"unknown simulation engine '{name}'; choose one of "
             f"{available_engines()}"
@@ -92,6 +112,11 @@ def create_simulator(
     name = engine or get_default_engine()
     simulator_class = ENGINES.get(name)
     if simulator_class is None:
+        if name in RUN_ENGINES:
+            raise SimulationError(
+                f"engine '{name}' executes whole runs and has no per-cycle "
+                "simulator; use run_design(..., engine="
+                f"{name!r}) instead of create_simulator")
         raise SimulationError(
             f"unknown simulation engine '{name}'; choose one of "
             f"{available_engines()}"
@@ -108,14 +133,21 @@ __all__ = [
     "DivergenceError",
     "ENGINES",
     "LoweredDesign",
+    "RUN_ENGINES",
+    "SimulationTimeout",
+    "VectorState",
+    "VectorUnsupported",
     "available_engines",
     "clear_compile_cache",
     "compile_cache_size",
     "create_simulator",
     "get_default_engine",
+    "last_drain_cycle",
     "lower_design",
     "run_design_batch",
     "run_design_batch_impl",
+    "run_design_vector",
     "set_cache_capacity",
     "set_default_engine",
+    "steady_state_of",
 ]

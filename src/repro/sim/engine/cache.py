@@ -27,8 +27,8 @@ import os
 import weakref
 from collections import OrderedDict
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.resilience.faults import fault_point
 from repro.sim.engine.codegen import (
@@ -123,6 +123,9 @@ class CompiledArtifacts:
     #: Vector dialect: whole-netlist pass + predicated clocked function.
     comb_vector_fn: Optional[Callable] = None
     clock_vector_fn: Optional[Callable] = None
+    #: Fused whole-run programs (:mod:`repro.sim.engine.vector`), keyed on
+    #: the interface-memory signature they were specialized against.
+    vector_runs: Dict[str, Callable] = field(default_factory=dict)
 
 
 #: When set (by :func:`persist_compiled`), generated simulator sources are
@@ -177,9 +180,14 @@ def _elaborate(design: Design, top: Optional[str],
     return flat, lower_design(flat)
 
 
-def compiled_artifacts(design: Design, top: Optional[str], external_models,
-                       vector: bool) -> CompiledArtifacts:
-    """Elaborate + compile ``design``, reusing cached artifacts when safe."""
+def base_artifacts(design: Design, top: Optional[str],
+                   external_models) -> CompiledArtifacts:
+    """Elaborate + levelize ``design``, reusing cached artifacts when safe.
+
+    The elaboration/levelization pair is shared by every generated dialect
+    (per-cycle scalar, per-cycle lanes, fused whole-run); dialect compiles
+    hang their functions off the returned artifacts.
+    """
     per_design = _design_entry(design) if not external_models else None
     cacheable = per_design is not None
     artifacts: Optional[CompiledArtifacts] = None
@@ -194,6 +202,13 @@ def compiled_artifacts(design: Design, top: Optional[str], external_models,
             per_design[top] = artifacts
     else:
         _STATS["hits"] += 1
+    return artifacts
+
+
+def compiled_artifacts(design: Design, top: Optional[str], external_models,
+                       vector: bool) -> CompiledArtifacts:
+    """Elaborate + compile ``design``, reusing cached artifacts when safe."""
+    artifacts = base_artifacts(design, top, external_models)
     tag = "top" if top is None else top
     if vector:
         if artifacts.comb_vector_fn is None:
@@ -240,5 +255,6 @@ def _register_stats() -> None:
 _register_stats()
 
 
-__all__ = ["CompiledArtifacts", "clear_compile_cache", "compile_cache_size",
-           "compiled_artifacts", "persist_compiled", "set_cache_capacity"]
+__all__ = ["CompiledArtifacts", "base_artifacts", "clear_compile_cache",
+           "compile_cache_size", "compiled_artifacts", "persist_compiled",
+           "set_cache_capacity"]

@@ -1,0 +1,53 @@
+"""Shared run-window arithmetic and the typed run-timeout error.
+
+Every engine drives the same ``start``-to-``done``-plus-drain protocol, and
+historically each runner carried its own copy of the two window rules this
+module now owns:
+
+* :func:`last_drain_cycle` — the last cycle (inclusive) on which a design may
+  still commit interface-memory traffic after pulsing ``done``.  The scalar
+  loop (:mod:`repro.sim.testbench`), the batched runner
+  (:mod:`repro.sim.engine.batch`) and the fused vector runner
+  (:mod:`repro.sim.engine.vector`) all break out of their cycle loops against
+  this one helper, so the drain window cannot drift off by one between
+  engines (``tests/sim/test_drain_window.py`` pins a write landing exactly on
+  the last drain cycle).
+* :class:`SimulationTimeout` — raised when a run exhausts ``max_cycles``
+  without ``done``.  Before this existed, the batched runner silently
+  returned zero-filled results for lanes that never finished.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.ir.errors import SimulationError
+
+
+class SimulationTimeout(SimulationError):
+    """A run (or batch lane) never asserted ``done`` within ``max_cycles``.
+
+    ``undone_lanes`` names the offending lanes (``(0,)`` for single-lane
+    engines) and ``max_cycles`` the exhausted budget, so sweeps can report
+    exactly which stimulus sets hung instead of consuming zero-filled
+    results.
+    """
+
+    def __init__(self, message: str, undone_lanes: Iterable[int] = (0,),
+                 max_cycles: int = 0) -> None:
+        super().__init__(message)
+        self.undone_lanes = tuple(int(lane) for lane in undone_lanes)
+        self.max_cycles = int(max_cycles)
+
+
+def last_drain_cycle(done_cycle, drain_cycles):
+    """The last cycle (inclusive) of the post-``done`` drain window.
+
+    A runner commits interface-memory traffic for every cycle ``<=`` this
+    value and breaks after it.  Pure addition, so it works elementwise on
+    the batched engine's per-lane ``done_cycle`` arrays as well as on ints.
+    """
+    return done_cycle + drain_cycles
+
+
+__all__ = ["SimulationTimeout", "last_drain_cycle"]

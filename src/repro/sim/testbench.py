@@ -19,6 +19,7 @@ from repro.hir.types import MemrefType
 from repro.obs.tracer import TRACER
 from repro.sim.verilog_sim import ExternalModel, Simulator
 from repro.sim.engine import create_simulator, get_default_engine
+from repro.sim.engine.window import SimulationTimeout, last_drain_cycle
 from repro.verilog.ast import Design
 
 
@@ -111,6 +112,13 @@ class SimulationRun:
     #: The run's :class:`repro.obs.simprofile.SimProfile` when it was
     #: profiled (``run_design_impl(..., profiler=...)``).
     profile: Optional[object] = None
+    #: The engine that actually executed the run (may differ from the one
+    #: requested: ``engine="vector"`` on a design without a static steady
+    #: state executes as ``"compiled"``).
+    engine: Optional[str] = None
+    #: Why the requested engine was substituted, when it was (typed
+    #: provenance for the vector → compiled fallback).
+    fallback: Optional[str] = None
 
     def memory_array(self, name: str) -> np.ndarray:
         return self.memories[name].as_array()
@@ -126,37 +134,64 @@ def run_design_impl(
     drain_cycles: int = 4,
     engine: Optional[str] = None,
     profiler=None,
+    steady_state=None,
 ) -> SimulationRun:
     """Run a generated design from ``start`` until its ``done`` pulse.
 
     ``memories`` maps each memref argument name to ``(MemrefType, initial
     data)``; ``scalar_inputs`` provides values for primitive arguments.
     ``engine`` selects the simulation engine (``"interpreted"``,
-    ``"compiled"`` or ``"differential"``; default: the process-wide default,
-    see :func:`repro.sim.engine.set_default_engine`).  ``profiler`` is an
+    ``"compiled"``, ``"differential"`` or the fused whole-run ``"vector"``;
+    default: the process-wide default, see
+    :func:`repro.sim.engine.set_default_engine`).  ``profiler`` is an
     optional :class:`repro.obs.simprofile.SimProfiler`; the run then carries
-    its profile in ``SimulationRun.profile``.  This is the non-deprecated
-    core that :meth:`repro.flow.Flow.simulate` drives.
+    its profile in ``SimulationRun.profile``.  ``steady_state`` is an
+    optional :class:`repro.graph.timing.FunctionTiming` hint for the vector
+    engine (the observed ``done`` cycle is verified against it).
+
+    A run that exhausts ``max_cycles`` without ``done`` raises
+    :class:`~repro.sim.engine.window.SimulationTimeout` — every engine shares
+    that contract.  This is the non-deprecated core that
+    :meth:`repro.flow.Flow.simulate` drives.
     """
+    name = engine or get_default_engine()
+    if name == "vector":
+        from repro.sim.engine.vector import VectorUnsupported, run_design_vector
+        try:
+            return run_design_vector(
+                design, memories=memories, scalar_inputs=scalar_inputs,
+                top=top, external_models=external_models,
+                max_cycles=max_cycles, drain_cycles=drain_cycles,
+                steady_state=steady_state, profiler=profiler)
+        except VectorUnsupported as error:
+            # Typed fallback: the design (or run mode) has no fused-run
+            # execution; the compiled per-cycle engine is semantically
+            # identical, and the run records why it was substituted.
+            run = run_design_impl(
+                design, memories=memories, scalar_inputs=scalar_inputs,
+                top=top, external_models=external_models,
+                max_cycles=max_cycles, drain_cycles=drain_cycles,
+                engine="compiled", profiler=profiler)
+            run.fallback = str(error)
+            return run
+
     simulator = create_simulator(design, top=top,
                                  external_models=external_models,
-                                 engine=engine)
+                                 engine=name)
     if profiler is not None:
         profiler.bind(simulator)
     interface_memories: Dict[str, InterfaceMemory] = {}
-    for name, (memref_type, initial) in (memories or {}).items():
-        interface_memories[name] = InterfaceMemory(name, memref_type, initial)
+    for name_, (memref_type, initial) in (memories or {}).items():
+        interface_memories[name_] = InterfaceMemory(name_, memref_type, initial)
 
-    for name, value in (scalar_inputs or {}).items():
-        simulator.set(name, value)
+    for name_, value in (scalar_inputs or {}).items():
+        simulator.set(name_, value)
 
     done_seen = False
     done_cycle = 0
     results: Dict[str, int] = {}
-    remaining_drain = drain_cycles
 
-    with TRACER.span("sim.run", cat="sim",
-                     engine=engine or get_default_engine()) as sim_span:
+    with TRACER.span("sim.run", cat="sim", engine=name) as sim_span:
         for cycle in range(max_cycles):
             simulator.set("start", 1 if cycle == 0 else 0)
             simulator.eval_comb()
@@ -165,9 +200,9 @@ def run_design_impl(
             if not done_seen and simulator.get("done"):
                 done_seen = True
                 done_cycle = cycle
-                for name in simulator.flat.outputs:
-                    if name.startswith("result"):
-                        results[name] = simulator.get(name)
+                for name_ in simulator.flat.outputs:
+                    if name_.startswith("result"):
+                        results[name_] = simulator.get(name_)
             if profiler is not None:
                 for memory in interface_memories.values():
                     profiler.on_port(memory.prefix,
@@ -176,24 +211,74 @@ def run_design_impl(
             simulator.clock_edge()
             for memory in interface_memories.values():
                 memory.commit(simulator)
-            if done_seen:
-                # Let writes scheduled after the done pulse drain for a few
-                # cycles.
-                if remaining_drain == 0:
-                    break
-                remaining_drain -= 1
+            # Let writes scheduled after the done pulse drain; the shared
+            # window helper keeps this break aligned with the batched and
+            # vector runners.
+            if done_seen and cycle >= last_drain_cycle(done_cycle,
+                                                       drain_cycles):
+                break
         sim_span.set(cycles=done_cycle + 1 if done_seen else max_cycles,
                      done=done_seen)
 
-    return SimulationRun(
-        cycles=done_cycle + 1 if done_seen else max_cycles,
-        done=done_seen,
+    if not done_seen:
+        raise SimulationTimeout(
+            f"design never asserted done within {max_cycles} cycles "
+            f"({name} engine)", undone_lanes=(0,), max_cycles=max_cycles)
+
+    run = SimulationRun(
+        cycles=done_cycle + 1,
+        done=True,
         results=results,
         memories=interface_memories,
         simulator=simulator,
-        profile=(profiler.finish(engine or get_default_engine())
-                 if profiler is not None else None),
+        profile=(profiler.finish(name) if profiler is not None else None),
+        engine=name,
     )
+    if name == "differential" and profiler is None and not external_models:
+        _vector_leg(run, design, memories, scalar_inputs, top,
+                    max_cycles, drain_cycles)
+    return run
+
+
+def _vector_leg(run: SimulationRun, design: Design, memories, scalar_inputs,
+                top, max_cycles: int, drain_cycles: int) -> None:
+    """The differential engine's third leg: replay the run through the fused
+    vector engine and require bit-exactness against the lockstep pair.
+
+    Designs without a fused-run execution (no static requirement here — the
+    vector engine only refuses external models / profiling at this layer)
+    are skipped; any mismatch or vector-side timeout is a
+    :class:`~repro.sim.engine.differential.DivergenceError`.
+    """
+    from repro.sim.engine.differential import DivergenceError
+    from repro.sim.engine.vector import VectorUnsupported, run_design_vector
+
+    try:
+        replay = run_design_vector(
+            design, memories=memories, scalar_inputs=scalar_inputs, top=top,
+            max_cycles=max_cycles, drain_cycles=drain_cycles)
+    except VectorUnsupported:
+        return
+    except SimulationTimeout as error:
+        raise DivergenceError(
+            f"vector leg timed out where the lockstep pair finished: {error}"
+        ) from error
+    if replay.cycles != run.cycles:
+        raise DivergenceError(
+            f"vector leg diverged: cycles {replay.cycles} != {run.cycles}")
+    if replay.results != run.results:
+        raise DivergenceError(
+            f"vector leg diverged: results {replay.results} != {run.results}")
+    for name, memory in run.memories.items():
+        other = replay.memories[name]
+        if other.data != memory.data:
+            raise DivergenceError(
+                f"vector leg diverged on memory '{name}'")
+        if (other.reads, other.writes) != (memory.reads, memory.writes):
+            raise DivergenceError(
+                f"vector leg diverged on '{name}' access counts: "
+                f"{(other.reads, other.writes)} != "
+                f"{(memory.reads, memory.writes)}")
 
 
 def run_design(

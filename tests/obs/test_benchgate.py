@@ -11,7 +11,8 @@ import os
 
 import pytest
 
-from repro.obs.benchgate import compare, load_records, main, slowdown
+from repro.obs.benchgate import (compare, load_records, main, new_records,
+                                 slowdown)
 from repro.obs.metrics import bench_payload
 
 BASELINE = {
@@ -79,6 +80,13 @@ class TestCompare:
                                     "seconds": 99.0}
         assert compare(BASELINE, fresh) == []
 
+    def test_new_records_lists_baseline_less_names(self):
+        fresh = dict(BASELINE)
+        fresh["brand-new/bench"] = {"name": "brand-new/bench",
+                                    "seconds": 99.0}
+        assert new_records(BASELINE, fresh) == ["brand-new/bench"]
+        assert new_records(BASELINE, BASELINE) == []
+
     def test_slowdown_synthesizes_a_regression(self):
         slowed = slowdown(BASELINE, factor=2.0)
         assert slowed["simulate/gemm/compiled"]["seconds"] == 0.20
@@ -103,13 +111,27 @@ class TestCli:
         assert main(["--baseline", base, fresh]) == 1
         assert "REGRESSION" in capsys.readouterr().err
 
+    def test_new_benchmark_passes_with_a_note(self, tmp_path, capsys):
+        base = write_payload(tmp_path / "base.json",
+                             list(BASELINE.values()))
+        extra = list(BASELINE.values()) + [
+            {"name": "engine-speedup/gemm-16-vector", "warm_speedup": 3.5}]
+        fresh = write_payload(tmp_path / "fresh.json", extra)
+        assert main(["--baseline", base, fresh]) == 0
+        out = capsys.readouterr().out
+        assert ("benchgate: note — engine-speedup/gemm-16-vector: "
+                "no baseline, recorded") in out
+        assert "benchgate: ok" in out
+
     def test_self_test_passes_iff_gate_trips(self, tmp_path, capsys):
         base = write_payload(tmp_path / "base.json",
                              list(BASELINE.values()))
         fresh = write_payload(tmp_path / "fresh.json",
                               list(BASELINE.values()))
         assert main(["--baseline", base, "--self-test", fresh]) == 0
-        assert "self-test ok" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "self-test ok" in out
+        assert "brand-new record tripped none" in out
 
     def test_self_test_fails_on_a_toothless_gate(self, tmp_path, capsys):
         # A baseline with no perf metrics gives the gate nothing to check,

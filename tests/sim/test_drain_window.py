@@ -1,0 +1,166 @@
+"""The shared drain-window arithmetic and the typed timeout contract.
+
+Every runner — scalar testbench, batched lanes, fused vector run — closes
+its drain window through :func:`repro.sim.engine.window.last_drain_cycle`;
+these tests pin the arithmetic itself (a write scheduled on the *last* drain
+cycle must still land) and the companion contract that a run which never
+asserts ``done`` raises :class:`SimulationTimeout` naming the undone lanes
+instead of returning zero-filled results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir.types import I32
+from repro.hir.types import MemrefType
+from repro.sim import SimulationTimeout, last_drain_cycle
+from repro.sim.engine.batch import run_design_batch_impl
+from repro.sim.testbench import run_design_impl
+from repro.verilog.ast import (
+    INPUT,
+    OUTPUT,
+    BinOp,
+    Const,
+    Design,
+    Module,
+    NonBlockingAssign,
+    Ref,
+)
+
+#: Engines that accept arbitrary designs through run_design_impl.
+ENGINES = ["interpreted", "compiled", "differential", "vector"]
+
+
+def writer_design(done_at=10, data_done=False):
+    """A counter that writes ``count + 100`` to ``out[count]`` every cycle.
+
+    ``done`` rises when the counter reaches ``done_at`` — or, with
+    ``data_done=True``, when it reaches the value read from ``a[0]``, so a
+    batched run's lanes can finish at different cycles (or never).
+    """
+    module = Module("drain")
+    module.add_port("clk", INPUT, 1)
+    module.add_port("start", INPUT, 1)
+    module.add_port("done", OUTPUT, 1)
+    module.add_port("out_addr", OUTPUT, 8)
+    module.add_port("out_wr_en", OUTPUT, 1)
+    module.add_port("out_wr_data", OUTPUT, 32)
+    module.add_reg("count", 16)
+    if data_done:
+        module.add_port("a_addr", OUTPUT, 2)
+        module.add_port("a_rd_en", OUTPUT, 1)
+        module.add_port("a_rd_data", INPUT, 32)
+        module.add_assign("a_addr", Const(0, 2))
+        module.add_assign("a_rd_en", Const(1, 1))
+        # count >= a[0], masked with count >= 1 so the zero-initialized
+        # rd_data input cannot finish the run on cycle 0.
+        module.add_assign("done", BinOp(
+            "&&",
+            BinOp(">=", Ref("count"), Ref("a_rd_data")),
+            BinOp(">=", Ref("count"), Const(1, 16))))
+    else:
+        module.add_assign("done",
+                          BinOp(">=", Ref("count"), Const(done_at, 16)))
+    module.add_assign("out_addr", Ref("count"))
+    module.add_assign("out_wr_en", Const(1, 1))
+    module.add_assign("out_wr_data", BinOp("+", Ref("count"), Const(100, 32)))
+    always = module.add_always()
+    always.body.append(
+        NonBlockingAssign("count", BinOp("+", Ref("count"), Const(1, 16))))
+    design = Design(top="drain")
+    design.add(module)
+    return design
+
+
+OUT = MemrefType((32,), I32, port="w")
+A = MemrefType((4,), I32, port="r")
+
+
+class TestLastDrainCycle:
+    def test_ints(self):
+        assert last_drain_cycle(10, 4) == 14
+        assert last_drain_cycle(0, 0) == 0
+
+    def test_numpy_elementwise(self):
+        done = np.array([3, 7])
+        assert list(last_drain_cycle(done, 4)) == [7, 11]
+
+
+class TestDrainWindow:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_write_on_last_drain_cycle_lands(self, engine):
+        """The write sampled on cycle ``done + drain_cycles`` must commit —
+        an off-by-one in the window arithmetic drops exactly that write."""
+        done_at, drain = 10, 8
+        run = run_design_impl(writer_design(done_at=done_at),
+                              memories={"out": (OUT, None)},
+                              max_cycles=1000, drain_cycles=drain,
+                              engine=engine)
+        assert run.cycles == done_at + 1
+        last = last_drain_cycle(done_at, drain)
+        data = run.memories["out"].data
+        for cycle in range(last + 1):
+            assert data[cycle] == 100 + cycle, (engine, cycle)
+        # ...and nothing after the window closed.
+        assert data[last + 1] == 0, engine
+
+    def test_batched_lanes_drain_independently(self):
+        """Each batched lane's window closes at its own done cycle."""
+        design = writer_design(data_done=True)
+        lanes = [[5, 0, 0, 0], [9, 0, 0, 0]]
+        batch = run_design_batch_impl(
+            design,
+            memories={"a": (A, lanes),
+                      "out": (OUT, [np.zeros(32, int), np.zeros(32, int)])},
+            max_cycles=1000, drain_cycles=4)
+        for lane, stimulus in enumerate(lanes):
+            single = run_design_impl(
+                design,
+                memories={"a": (A, stimulus), "out": (OUT, None)},
+                max_cycles=1000, drain_cycles=4, engine="compiled")
+            assert int(batch.cycles[lane]) == single.cycles
+            assert np.array_equal(batch.memory_array("out", lane),
+                                  single.memory_array("out"))
+
+
+class TestSimulationTimeout:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_never_done_raises_typed_timeout(self, engine):
+        design = writer_design(data_done=True)
+        with pytest.raises(SimulationTimeout) as excinfo:
+            run_design_impl(design,
+                            memories={"a": (A, [10_000, 0, 0, 0]),
+                                      "out": (OUT, None)},
+                            max_cycles=50, drain_cycles=4, engine=engine)
+        error = excinfo.value
+        assert error.undone_lanes == (0,)
+        assert error.max_cycles == 50
+        assert "never asserted done" in str(error)
+
+    def test_batched_timeout_names_the_undone_lanes(self):
+        """Lane 1 never finishes: the run must raise (not return lane 1 as
+        zero-filled results) and the error must name exactly that lane."""
+        design = writer_design(data_done=True)
+        with pytest.raises(SimulationTimeout) as excinfo:
+            run_design_batch_impl(
+                design,
+                memories={"a": (A, [[5, 0, 0, 0], [10_000, 0, 0, 0]]),
+                          "out": (OUT, [np.zeros(32, int), np.zeros(32, int)])},
+                max_cycles=50, drain_cycles=4)
+        error = excinfo.value
+        assert error.undone_lanes == (1,)
+        assert "lanes [1]" in str(error)
+
+    def test_batched_timeout_all_lanes(self):
+        design = writer_design(data_done=True)
+        with pytest.raises(SimulationTimeout) as excinfo:
+            run_design_batch_impl(
+                design,
+                memories={"a": (A, [[10_000, 0, 0, 0], [10_000, 0, 0, 0]]),
+                          "out": (OUT, [np.zeros(32, int), np.zeros(32, int)])},
+                max_cycles=50, drain_cycles=4)
+        assert excinfo.value.undone_lanes == (0, 1)
+
+    def test_timeout_is_a_simulation_error(self):
+        from repro.ir.errors import SimulationError
+        assert issubclass(SimulationTimeout, SimulationError)

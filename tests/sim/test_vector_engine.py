@@ -1,0 +1,158 @@
+"""The fused whole-run ``vector`` engine (:mod:`repro.sim.engine.vector`).
+
+Bit-exactness versus the interpreted reference — cycle counts, result
+ports, memory contents and interface access counters — over every
+registered kernel, plus the engine's API surface: the run-level-only
+contract (no per-cycle simulator), the typed
+:class:`VectorUnsupported` fallback to the compiled engine, the steady-state
+verification hook and the compile cache shared with the compiled engine.
+"""
+
+import pytest
+
+from repro.ir.errors import SimulationError
+from repro.kernels import build_kernel, kernel_names
+from repro.sim import (
+    SimulationTimeout,
+    VectorUnsupported,
+    available_engines,
+    create_simulator,
+    run_design_vector,
+    set_default_engine,
+)
+from repro.sim.testbench import run_design_impl
+
+#: Tier-1 problem sizes (kernels not listed use their defaults).
+SMALL_PARAMS = {
+    "transpose": {"size": 8},
+    "stencil_1d": {"size": 32},
+    "histogram": {"pixels": 64, "bins": 32},
+    "gemm": {"size": 4},
+    "convolution": {"size": 8},
+    "fifo": {"depth": 64},
+    "matvec": {"size": 4},
+    "prefix_sum": {"size": 8},
+    "spmv": {"rows": 4, "nnz": 2},
+    "sorting_network": {"size": 4},
+}
+
+
+def run_kernel(artifacts, engine, seed=7):
+    inputs = artifacts.make_inputs(seed)
+    design = artifacts.flow().design
+    return run_design_impl(
+        design,
+        memories={name: (memref_type, inputs.get(name))
+                  for name, memref_type in artifacts.interfaces.items()},
+        scalar_inputs=artifacts.scalar_args,
+        max_cycles=50000, drain_cycles=16, engine=engine)
+
+
+def assert_identical(reference, vector, label):
+    assert vector.fallback is None, (label, vector.fallback)
+    assert vector.engine == "vector", label
+    assert vector.cycles == reference.cycles, label
+    assert vector.results == reference.results, label
+    for name, memory in reference.memories.items():
+        other = vector.memories[name]
+        assert other.data == memory.data, (label, name)
+        assert (other.reads, other.writes) == (memory.reads, memory.writes), \
+            (label, name)
+
+
+@pytest.mark.parametrize("kernel", kernel_names())
+def test_vector_matches_interpreted(kernel):
+    artifacts = build_kernel(kernel, **SMALL_PARAMS.get(kernel, {}))
+    reference = run_kernel(artifacts, "interpreted")
+    vector = run_kernel(artifacts, "vector")
+    assert_identical(reference, vector, kernel)
+
+
+def test_vector_is_listed_and_settable():
+    assert "vector" in available_engines()
+    previous = set_default_engine("vector")
+    try:
+        artifacts = build_kernel("transpose", size=4)
+        run = run_kernel(artifacts, engine=None)
+        assert run.engine == "vector"
+    finally:
+        set_default_engine(previous)
+
+
+def test_vector_has_no_per_cycle_simulator():
+    design = build_kernel("transpose", size=4).flow().design
+    with pytest.raises(SimulationError, match="whole runs"):
+        create_simulator(design, engine="vector")
+
+
+def test_profiler_falls_back_to_compiled_with_typed_reason():
+    """Per-cycle profiling is unobservable from a fused run: the run must
+    execute on the compiled engine and carry the reason, not crash."""
+    from repro.obs.simprofile import SimProfiler
+    artifacts = build_kernel("transpose", size=4)
+    inputs = artifacts.make_inputs(1)
+    design = artifacts.flow().design
+    memories = {name: (memref_type, inputs.get(name))
+                for name, memref_type in artifacts.interfaces.items()}
+    with pytest.raises(VectorUnsupported):
+        run_design_vector(design, memories=memories,
+                          profiler=SimProfiler())
+    profiler = SimProfiler()
+    run = run_design_impl(design, memories=memories, engine="vector",
+                          profiler=profiler)
+    assert run.engine == "compiled"
+    assert "profil" in run.fallback
+    assert run.profile is not None
+
+
+def test_steady_state_hint_is_verified():
+    """A drifting static-timing prediction is a loud error, not a silent
+    mis-speedup."""
+    from repro.graph.timing import FunctionTiming
+    artifacts = build_kernel("transpose", size=4)
+    inputs = artifacts.make_inputs(1)
+    design = artifacts.flow().design
+    memories = {name: (memref_type, inputs.get(name))
+                for name, memref_type in artifacts.interfaces.items()}
+    good = run_design_vector(design, memories=memories)
+    wrong = FunctionTiming(done=good.cycles + 17,
+                           last_activity=good.cycles + 17)
+    with pytest.raises(SimulationError, match="predicted"):
+        run_design_vector(design, memories=memories, steady_state=wrong)
+
+
+def test_differential_engine_grows_a_vector_leg():
+    """engine="differential" now cross-checks the fused run too; a clean
+    kernel must still pass the three-way comparison."""
+    artifacts = build_kernel("matvec", size=4)
+    run = run_kernel(artifacts, "differential")
+    assert run.done
+
+
+def test_vector_timeout_is_typed():
+    artifacts = build_kernel("gemm", size=4)
+    inputs = artifacts.make_inputs(1)
+    design = artifacts.flow().design
+    memories = {name: (memref_type, inputs.get(name))
+                for name, memref_type in artifacts.interfaces.items()}
+    with pytest.raises(SimulationTimeout) as excinfo:
+        run_design_vector(design, memories=memories, max_cycles=5)
+    assert excinfo.value.undone_lanes == (0,)
+    assert excinfo.value.max_cycles == 5
+
+
+def test_fused_program_is_cached_per_interface_signature():
+    from repro.sim.engine.cache import compiled_artifacts
+    from repro.sim.engine.vector import _cached_run
+    artifacts = build_kernel("transpose", size=4)
+    inputs = artifacts.make_inputs(1)
+    design = artifacts.flow().design
+    memories = {name: (memref_type, inputs.get(name))
+                for name, memref_type in artifacts.interfaces.items()}
+    _, first = _cached_run(design, None, memories)
+    _, second = _cached_run(design, None, memories)
+    assert first is second
+    # ...and the scalar step functions are the compiled engine's.
+    shared = compiled_artifacts(design, None, None, vector=False)
+    cached, _ = _cached_run(design, None, memories)
+    assert cached.step_fns is shared.step_fns
